@@ -1,0 +1,184 @@
+package ddpolice
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its figure's data at QuickScale per iteration, so
+// `go test -bench .` replays the whole evaluation; cmd/ddexp runs the
+// same harness at PaperScale and prints the rows.
+
+import (
+	"testing"
+
+	"ddpolice/internal/protocol"
+	"ddpolice/internal/rng"
+)
+
+// BenchmarkTable1NeighborTrafficCodec measures encoding+decoding the
+// Table 1 wire message (43 bytes: 23-byte header + 20-byte body).
+func BenchmarkTable1NeighborTrafficCodec(b *testing.B) {
+	nt := protocol.NeighborTraffic{
+		SourceIP:  [4]byte{10, 0, 0, 1},
+		SuspectIP: [4]byte{10, 0, 0, 2},
+		Timestamp: 1234567,
+		Outgoing:  20000,
+		Incoming:  120,
+	}
+	guid := protocol.NewGUID(rng.New(1))
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = protocol.Encode(buf[:0], guid, 1, 0, nt)
+		if _, _, err := protocol.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5ProcessedVsOffered regenerates the Figure 5 saturation
+// curve (queries processed/min vs offered/min).
+func BenchmarkFig5ProcessedVsOffered(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := Fig5And6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[len(pts)-1].ProcessedPerMin < 10000 {
+			b.Fatal("saturation plateau missing")
+		}
+	}
+}
+
+// BenchmarkFig6DropRate regenerates the Figure 6 drop-rate curve and
+// checks the paper's 47%-at-29k anchor.
+func BenchmarkFig6DropRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := Fig5And6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		if last.DropRate < 0.4 || last.DropRate > 0.55 {
+			b.Fatalf("drop rate at 29k/min = %v, want ~0.47", last.DropRate)
+		}
+	}
+}
+
+// benchSweep shares one Fig 9-11 sweep across the three figure benches
+// within a single iteration.
+func benchSweep(b *testing.B) []SweepPoint {
+	b.Helper()
+	pts, err := Fig9To11(QuickScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pts
+}
+
+// BenchmarkFig9TrafficCost regenerates the traffic-cost-vs-agents
+// curves (Figure 9).
+func BenchmarkFig9TrafficCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := benchSweep(b)
+		last := pts[len(pts)-1]
+		if last.TrafficAttack <= last.TrafficBaseline {
+			b.Fatal("attack did not inflate traffic")
+		}
+	}
+}
+
+// BenchmarkFig10ResponseTime regenerates the response-time-vs-agents
+// curves (Figure 10).
+func BenchmarkFig10ResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := benchSweep(b)
+		last := pts[len(pts)-1]
+		if last.ResponseAttack <= last.ResponseBaseline {
+			b.Fatal("attack did not inflate response time")
+		}
+	}
+}
+
+// BenchmarkFig11SuccessRate regenerates the success-rate-vs-agents
+// curves (Figure 11).
+func BenchmarkFig11SuccessRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := benchSweep(b)
+		last := pts[len(pts)-1]
+		if last.SuccessAttack >= last.SuccessBaseline {
+			b.Fatal("attack did not depress success rate")
+		}
+		if last.SuccessDefended <= last.SuccessAttack {
+			b.Fatal("DD-POLICE did not restore success")
+		}
+	}
+}
+
+// BenchmarkFig12DamageRateTimeline regenerates the damage-rate
+// timelines for no-defense and the CT variants (Figure 12).
+func BenchmarkFig12DamageRateTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tl, err := Fig12(QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tl) != 4 {
+			b.Fatalf("timelines = %d, want no-defense + 3 CTs", len(tl))
+		}
+	}
+}
+
+// BenchmarkFig13ErrorsVsCT regenerates the error counts across the cut
+// threshold sweep (Figure 13).
+func BenchmarkFig13ErrorsVsCT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := Fig13And14(QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("empty CT sweep")
+		}
+	}
+}
+
+// BenchmarkFig14RecoveryTime regenerates the damage-recovery-time
+// curve across the cut threshold sweep (Figure 14).
+func BenchmarkFig14RecoveryTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := Fig13And14(QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.RecoveryMinutes < -1 {
+				b.Fatal("invalid recovery time")
+			}
+		}
+	}
+}
+
+// BenchmarkExchangeFrequencyStudy regenerates the §3.7.1 neighbor-list
+// exchange frequency comparison.
+func BenchmarkExchangeFrequencyStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := ExchangeFrequencyStudy(QuickScale(), []float64{1, 2, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 4 {
+			b.Fatalf("rows = %d, want 3 periodic + event-driven", len(pts))
+		}
+	}
+}
+
+// BenchmarkCheatingStrategies regenerates the §3.4 cheating analysis.
+func BenchmarkCheatingStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := CheatingStudy(QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 4 {
+			b.Fatalf("rows = %d, want 4 strategies", len(pts))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package ddpolice
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"ddpolice/internal/capacity"
+)
+
+// parse reads back CSV output and verifies rectangular shape.
+func parse(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("unparseable CSV: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty CSV")
+	}
+	for i, r := range rows {
+		if len(r) != len(rows[0]) {
+			t.Fatalf("row %d has %d fields, header has %d", i, len(r), len(rows[0]))
+		}
+	}
+	return rows
+}
+
+func TestSaturationCSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []capacity.SaturationPoint{
+		{OfferedPerMin: 1000, ProcessedPerMin: 1000, DropRate: 0},
+		{OfferedPerMin: 29000, ProcessedPerMin: 15000, DropRate: 0.483},
+	}
+	if err := SaturationCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, &buf)
+	if len(rows) != 3 || rows[2][2] != "0.483" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []SweepPoint{{Agents: 5, TrafficBaseline: 100, TrafficAttack: 300,
+		SuccessBaseline: 0.9, SuccessAttack: 0.5, Detections: 12}}
+	if err := SweepCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, &buf)
+	if rows[1][0] != "5" || rows[1][10] != "12" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestTimelinesCSVRaggedSeries(t *testing.T) {
+	var buf bytes.Buffer
+	tl := []Timeline{
+		{Label: "a", Damage: []float64{1, 2, 3}},
+		{Label: "b", Damage: []float64{9}},
+	}
+	if err := TimelinesCSV(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, &buf)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[2][2] != "" {
+		t.Fatalf("short series not padded: %v", rows[2])
+	}
+	// Empty input still yields a header.
+	buf.Reset()
+	if err := TimelinesCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "minute") {
+		t.Fatalf("empty timelines CSV = %q", buf.String())
+	}
+}
+
+func TestRemainingCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CTPointsCSV(&buf, []CTPoint{{CutThreshold: 5, FalseNegatives: 3, RecoveryMinutes: -1}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, &buf)
+	if rows[1][4] != "-1" {
+		t.Fatalf("never-recovered sentinel lost: %v", rows[1])
+	}
+
+	buf.Reset()
+	if err := FreqPointsCSV(&buf, []FreqPoint{{Label: "periodic 2min", PeriodSec: 120, ListMessages: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	parse(t, &buf)
+
+	buf.Reset()
+	if err := CheatPointsCSV(&buf, []CheatPoint{{Strategy: "deflate", Detections: 7, Success: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	parse(t, &buf)
+
+	buf.Reset()
+	if err := RadiusPointsCSV(&buf, []RadiusPoint{{Radius: 2, ListMessages: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	parse(t, &buf)
+
+	buf.Reset()
+	if err := LiarPointsCSV(&buf, []LiarPoint{{Label: "lying agents + verification", VerifyMsgs: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	parse(t, &buf)
+
+	buf.Reset()
+	if err := AblationPointsCSV(&buf, []AblationPoint{{Label: "ttl 7", Success: 0.6, SuccessNoDef: 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	parse(t, &buf)
+}

@@ -1,0 +1,48 @@
+// attack_impact reproduces the paper's §3.6 finding — "Consequences of
+// overlay DDoS attack in P2Ps" — by sweeping the number of compromised
+// peers and measuring how an *undefended* flooding-based system decays:
+// traffic multiplies, response time inflates, and most queries fail.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ddpolice"
+)
+
+func main() {
+	base := ddpolice.DefaultConfig()
+	base.NumPeers = 800
+	base.DurationSec = 480
+	base.AttackStartSec = 60
+
+	baseline, err := ddpolice.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "agents\ttraffic (x baseline)\tresponse (x baseline)\tsuccess (%)\tfailed queries (%)")
+	fmt.Fprintf(w, "0\t1.00\t1.00\t%.1f\t%.1f\n",
+		baseline.OverallSuccess*100, (1-baseline.OverallSuccess)*100)
+	for _, agents := range []int{1, 2, 4, 8, 16} {
+		cfg := base
+		cfg.NumAgents = agents
+		r, err := ddpolice.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.1f\t%.1f\n",
+			agents,
+			r.MeanTraffic/baseline.MeanTraffic,
+			r.MeanResponseTime/baseline.MeanResponseTime,
+			r.OverallSuccess*100,
+			(1-r.OverallSuccess)*100)
+	}
+	w.Flush()
+	fmt.Println("\nThe paper's headline (at 10x our scale): tens of agents double the")
+	fmt.Println("traffic, and at the largest populations most queries fail outright.")
+}

@@ -1,0 +1,39 @@
+// structured_comparison runs the paper's §5 future-work question: what
+// does the same overlay DDoS attack do to a structured (Chord-style)
+// P2P system? Flooding amplifies every bogus query by the flood-ball
+// size; a DHT lookup costs O(log n) hops, so the attacker's leverage
+// collapses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ddpolice"
+)
+
+func main() {
+	scale := ddpolice.QuickScale()
+	scale.NumPeers = 800
+	scale.DurationSec = 360
+	scale.AgentCounts = []int{0, 2, 4, 8, 16}
+
+	pts, err := ddpolice.StructuredStudy(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "agents\tflooding (Gnutella) success %\tDHT (Chord) success %\tDHT hops")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\n",
+			p.Agents, p.UnstructuredSuccess*100, p.StructuredSuccess*100, p.StructuredMeanHops)
+	}
+	w.Flush()
+	fmt.Println("\nEach bogus request costs the DHT ~log2(n)/2 node-visits instead of")
+	fmt.Println("an O(coverage) flood: the saturation knee moves out by roughly the")
+	fmt.Println("amplification ratio, which is why flooding-based search is the")
+	fmt.Println("paper's vulnerable case.")
+}

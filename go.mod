@@ -1,0 +1,3 @@
+module ddpolice
+
+go 1.22

@@ -1,0 +1,160 @@
+// Package capacity models a peer's query-processing capability as a
+// token bucket. The paper calibrates this with a real testbed (§2.3,
+// Figs 4-6): a LimeWire peer on a P3-733 began discarding queries when
+// offered ~15,000 queries/min and dropped 47% when offered ~29,000/min
+// (i.e. it saturates at roughly 15k/min when dedicated); the paper then
+// conservatively assumes a good peer in the wild processes 10,000
+// queries/min, while a bad peer can generate 20,000/min.
+package capacity
+
+import "fmt"
+
+// Paper calibration constants (queries per minute).
+const (
+	// TestbedSaturationPerMin is the processing rate at which the
+	// dedicated testbed peer saturated (Figs 5-6).
+	TestbedSaturationPerMin = 15000
+	// GoodPeerProcessPerMin is the assumed in-the-wild processing
+	// capacity of a good peer (§2.3, end).
+	GoodPeerProcessPerMin = 10000
+	// BadPeerIssuePerMin is the assumed generation rate of a DDoS agent.
+	BadPeerIssuePerMin = 20000
+	// GoodPeerIssueBoundPerMin is q0: a good peer never issues more
+	// than 100 queries/min (Definition 2.1's threshold q).
+	GoodPeerIssueBoundPerMin = 100
+)
+
+// Processor is a token-bucket query processor. Tokens accrue at the
+// processing rate and each accepted query consumes one token; queries
+// offered when the bucket is empty are dropped, exactly like peer B
+// discarding queries in the paper's testbed.
+type Processor struct {
+	ratePerSec float64
+	burst      float64
+	tokens     float64
+	processed  float64
+	dropped    float64
+}
+
+// NewProcessor creates a processor with the given sustained rate
+// (queries/min) and burst tolerance (queries). Burst defaults to one
+// second of capacity when <= 0.
+func NewProcessor(ratePerMin, burst float64) (*Processor, error) {
+	if ratePerMin <= 0 {
+		return nil, fmt.Errorf("capacity: non-positive rate %v", ratePerMin)
+	}
+	p := &Processor{ratePerSec: ratePerMin / 60}
+	if burst <= 0 {
+		burst = p.ratePerSec
+	}
+	p.burst = burst
+	p.tokens = burst
+	return p, nil
+}
+
+// Tick accrues dt seconds of processing tokens.
+func (p *Processor) Tick(dt float64) {
+	p.tokens += p.ratePerSec * dt
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+}
+
+// Offer presents n queries (fractional allowed, for fluid batches) and
+// returns how many were processed; the remainder is dropped.
+func (p *Processor) Offer(n float64) (accepted float64) {
+	if n <= 0 {
+		return 0
+	}
+	accepted = n
+	if accepted > p.tokens {
+		accepted = p.tokens
+	}
+	p.tokens -= accepted
+	p.processed += accepted
+	p.dropped += n - accepted
+	return accepted
+}
+
+// TryProcess attempts to process a single query, reporting success.
+func (p *Processor) TryProcess() bool {
+	if p.tokens >= 1 {
+		p.tokens--
+		p.processed++
+		return true
+	}
+	p.dropped++
+	return false
+}
+
+// Tokens returns the currently available tokens.
+func (p *Processor) Tokens() float64 { return p.tokens }
+
+// Processed returns the cumulative accepted count.
+func (p *Processor) Processed() float64 { return p.processed }
+
+// Dropped returns the cumulative dropped count.
+func (p *Processor) Dropped() float64 { return p.dropped }
+
+// DropRate returns dropped/(processed+dropped), or 0 if idle.
+func (p *Processor) DropRate() float64 {
+	total := p.processed + p.dropped
+	if total == 0 {
+		return 0
+	}
+	return p.dropped / total
+}
+
+// Reset clears counters and refills the bucket.
+func (p *Processor) Reset() {
+	p.tokens = p.burst
+	p.processed, p.dropped = 0, 0
+}
+
+// SaturationPoint measures one offered-load level: it simulates
+// durationSec seconds of a constant offered rate (queries/min) against
+// a fresh processor and reports the achieved processing rate and drop
+// rate — one X position of Figs 5 and 6.
+type SaturationPoint struct {
+	OfferedPerMin   float64
+	ProcessedPerMin float64
+	DropRate        float64
+}
+
+// SaturationCurve sweeps offered load levels against a processor with
+// the given capacity, regenerating the data behind Figs 5 and 6.
+func SaturationCurve(capacityPerMin float64, offeredPerMin []float64, durationSec int) ([]SaturationPoint, error) {
+	if durationSec <= 0 {
+		return nil, fmt.Errorf("capacity: non-positive duration %d", durationSec)
+	}
+	out := make([]SaturationPoint, 0, len(offeredPerMin))
+	for _, offered := range offeredPerMin {
+		p, err := NewProcessor(capacityPerMin, 0)
+		if err != nil {
+			return nil, err
+		}
+		perSec := offered / 60
+		for s := 0; s < durationSec; s++ {
+			p.Tick(1)
+			p.Offer(perSec)
+		}
+		out = append(out, SaturationPoint{
+			OfferedPerMin:   offered,
+			ProcessedPerMin: p.Processed() / float64(durationSec) * 60,
+			DropRate:        p.DropRate(),
+		})
+	}
+	return out, nil
+}
+
+// EffectiveForwardPerMin is the calibrated per-peer effective
+// forwarding rate (queries/min) used by the overlay simulator's
+// contention model. A peer's local lookup engine sustains
+// GoodPeerProcessPerMin, but the rate at which it can usefully relay
+// query messages onward is bounded by its share of access-link
+// bandwidth (the paper's [19] bandwidth classes put 22% of peers at
+// <= 100 Kbps). The simulator uses this single effective bottleneck for
+// flood propagation; DESIGN.md ("Calibration") documents the sweep that
+// selected it so that agent indicators separate from good-peer
+// indicators exactly over the paper's CT range.
+const EffectiveForwardPerMin = 1000

@@ -1,0 +1,155 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProcessorBasics(t *testing.T) {
+	p, err := NewProcessor(600, 10) // 10 queries/sec, burst 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Offer(4); got != 4 {
+		t.Fatalf("accepted %v of 4 with full bucket", got)
+	}
+	if got := p.Offer(10); got != 6 {
+		t.Fatalf("accepted %v, want remaining 6 tokens", got)
+	}
+	if p.Dropped() != 4 {
+		t.Fatalf("dropped = %v", p.Dropped())
+	}
+	p.Tick(1) // +10 tokens
+	if got := p.Tokens(); got != 10 {
+		t.Fatalf("tokens after tick = %v", got)
+	}
+	p.Tick(100) // bucket must cap at burst
+	if got := p.Tokens(); got != 10 {
+		t.Fatalf("tokens capped = %v", got)
+	}
+}
+
+func TestTryProcess(t *testing.T) {
+	p, err := NewProcessor(60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.TryProcess() || !p.TryProcess() {
+		t.Fatal("burst of 2 not honored")
+	}
+	if p.TryProcess() {
+		t.Fatal("processed with empty bucket")
+	}
+	if p.Processed() != 2 || p.Dropped() != 1 {
+		t.Fatalf("processed=%v dropped=%v", p.Processed(), p.Dropped())
+	}
+	if got := p.DropRate(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("drop rate = %v", got)
+	}
+}
+
+func TestOfferNonPositive(t *testing.T) {
+	p, _ := NewProcessor(60, 1)
+	if got := p.Offer(0); got != 0 {
+		t.Fatalf("Offer(0) = %v", got)
+	}
+	if got := p.Offer(-5); got != 0 {
+		t.Fatalf("Offer(-5) = %v", got)
+	}
+	if p.DropRate() != 0 {
+		t.Fatal("idle drop rate must be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p, _ := NewProcessor(600, 5)
+	p.Offer(100)
+	p.Reset()
+	if p.Processed() != 0 || p.Dropped() != 0 || p.Tokens() != 5 {
+		t.Fatalf("reset incomplete: %+v", *p)
+	}
+}
+
+func TestNewProcessorErrors(t *testing.T) {
+	if _, err := NewProcessor(0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewProcessor(-10, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+// TestFig5Shape regenerates the Figure 5 anchor points: below capacity
+// the processed rate tracks the offered rate; above capacity it
+// plateaus at the testbed saturation level (~15k/min).
+func TestFig5Shape(t *testing.T) {
+	offered := []float64{1000, 5000, 10000, 14000, 15000, 20000, 25000, 29000}
+	pts, err := SaturationCurve(TestbedSaturationPerMin, offered, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.OfferedPerMin <= TestbedSaturationPerMin {
+			if math.Abs(pt.ProcessedPerMin-pt.OfferedPerMin) > pt.OfferedPerMin*0.01 {
+				t.Errorf("offered %v: processed %v, want ~offered", pt.OfferedPerMin, pt.ProcessedPerMin)
+			}
+		} else {
+			if math.Abs(pt.ProcessedPerMin-TestbedSaturationPerMin) > TestbedSaturationPerMin*0.01 {
+				t.Errorf("offered %v: processed %v, want plateau ~%v",
+					pt.OfferedPerMin, pt.ProcessedPerMin, float64(TestbedSaturationPerMin))
+			}
+		}
+	}
+}
+
+// TestFig6Anchor checks the paper's headline drop-rate measurement:
+// "When peer A sends queries to B as fast as it is capable of
+// [~29,000/min], 47% of the queries are dropped by peer B."
+func TestFig6Anchor(t *testing.T) {
+	pts, err := SaturationCurve(TestbedSaturationPerMin, []float64{29000}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pts[0].DropRate
+	want := 1 - float64(TestbedSaturationPerMin)/29000 // 48.3%
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("drop rate at 29k/min = %v, want ~%v", got, want)
+	}
+	if got < 0.44 || got > 0.52 {
+		t.Fatalf("drop rate %v outside the paper's ~47%% anchor", got)
+	}
+}
+
+// TestFig6Monotone: drop rate must be zero below saturation and grow
+// monotonically beyond it.
+func TestFig6Monotone(t *testing.T) {
+	offered := []float64{5000, 10000, 15000, 17000, 20000, 23000, 26000, 29000}
+	pts, err := SaturationCurve(TestbedSaturationPerMin, offered, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, pt := range pts {
+		if pt.OfferedPerMin < TestbedSaturationPerMin && pt.DropRate > 0.01 {
+			t.Errorf("offered %v below capacity dropped %v", pt.OfferedPerMin, pt.DropRate)
+		}
+		if pt.DropRate < prev-1e-9 {
+			t.Errorf("drop rate not monotone at offered %v", pt.OfferedPerMin)
+		}
+		prev = pt.DropRate
+	}
+}
+
+func TestSaturationCurveErrors(t *testing.T) {
+	if _, err := SaturationCurve(1000, []float64{1}, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func BenchmarkOffer(b *testing.B) {
+	p, _ := NewProcessor(600000, 0)
+	for i := 0; i < b.N; i++ {
+		p.Tick(0.001)
+		p.Offer(10)
+	}
+}

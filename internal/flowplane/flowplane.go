@@ -1,0 +1,169 @@
+// Package flowplane computes the DD-POLICE monitoring plane: the
+// per-edge per-minute query counts Q_{u->v}(t) that Definitions 2.1-2.3
+// are evaluated against.
+//
+// The paper's analysis (Figure 2) models flooding without duplicate
+// suppression: every query a peer receives is forwarded to all
+// neighbors except the sender ("we assume there are no query message
+// duplications ... and all the incoming queries are sent out"). Under
+// that assumption the query flows are exactly the TTL-bounded
+// *non-backtracking walk* flows of the injected query volumes, and the
+// General Indicator identity holds: for any peer that forwards
+// faithfully, sum(out) - (k-1)*sum(in) = k * (own issued volume).
+//
+// Those flows are linear in the injections, so the entire minute's
+// counter plane — all good peers' queries and all attack volumes at
+// once — is computed with one TTL-step propagation over the directed
+// edge set, O(TTL * E) per minute, instead of per-message simulation.
+//
+// The experiments do NOT use this plane: the walk flows diverge
+// geometrically, so the TTL-expiry deficit (final-level arrivals are
+// counted as inflow but never forwarded) drives the indicators negative
+// for every forwarding peer — one of the calibration findings recorded
+// in DESIGN.md. The package is kept as the executable form of the
+// paper's idealized accounting, for the tests that demonstrate exactly
+// where it breaks (see flowplane_test.go).
+package flowplane
+
+import (
+	"fmt"
+
+	"ddpolice/internal/overlay"
+)
+
+// PeerID aliases the overlay peer identifier.
+type PeerID = overlay.PeerID
+
+// Emission is one peer's query injection for a minute.
+type Emission struct {
+	Source PeerID
+	// PerMinute is the total issued query volume this minute.
+	PerMinute float64
+	// Split controls how the volume enters the overlay: false floods
+	// the full volume down every connection (normal Gnutella issuing —
+	// and the broadcast attack); true splits it across connections
+	// (the Figure 1 spray attack, distinct queries per neighbor).
+	Split bool
+}
+
+// Plane propagates emissions into per-edge counted flows. One Plane is
+// reused across minutes; it is not safe for concurrent use.
+type Plane struct {
+	ov   *overlay.Overlay
+	cur  []float64 // flow entering this level, per directed edge
+	next []float64
+	inv  []float64 // per-node in-flow accumulator
+	nbuf []PeerID
+}
+
+// New creates a flow plane over ov.
+func New(ov *overlay.Overlay) *Plane {
+	return &Plane{
+		ov:   ov,
+		cur:  make([]float64, ov.NumDirectedEdges()),
+		next: make([]float64, ov.NumDirectedEdges()),
+		inv:  make([]float64, ov.NumPeers()),
+	}
+}
+
+// AccumulateMinute injects the emissions, propagates them for ttl hops
+// of non-backtracking forwarding over the currently-active overlay
+// edges, and adds the resulting flows to the overlay's current-minute
+// edge counters. It returns the total counted flow (the minute's
+// idealized message volume).
+func (p *Plane) AccumulateMinute(emissions []Emission, ttl int) (float64, error) {
+	if ttl < 1 {
+		return 0, fmt.Errorf("flowplane: ttl = %d", ttl)
+	}
+	for i := range p.cur {
+		p.cur[i] = 0
+	}
+	// Level 1: source emissions enter the source's active edges.
+	for _, em := range emissions {
+		if em.PerMinute <= 0 || !p.ov.Online(em.Source) {
+			continue
+		}
+		p.nbuf = p.ov.ActiveNeighbors(em.Source, p.nbuf[:0])
+		if len(p.nbuf) == 0 {
+			continue
+		}
+		w := em.PerMinute
+		if em.Split {
+			w /= float64(len(p.nbuf))
+		}
+		g := p.ov.Graph()
+		for k, v := range g.Neighbors(em.Source) {
+			if !p.ov.Online(v) || p.ov.IsCut(em.Source, v) {
+				continue
+			}
+			p.cur[p.ov.EdgeID(em.Source, k)] += w
+		}
+	}
+
+	total := p.flush()
+	// Levels 2..ttl: each arriving flow is forwarded to every active
+	// edge of the receiver except back where it came from.
+	for level := 2; level <= ttl; level++ {
+		if total == 0 {
+			break
+		}
+		p.step()
+		total += p.flush()
+	}
+	return total, nil
+}
+
+// step computes next-level flows: next[u->v] = inflow(u) - cur[v->u],
+// restricted to active edges.
+func (p *Plane) step() {
+	g := p.ov.Graph()
+	n := p.ov.NumPeers()
+	for v := 0; v < n; v++ {
+		p.inv[v] = 0
+	}
+	for v := 0; v < n; v++ {
+		id := PeerID(v)
+		if !p.ov.Online(id) {
+			continue
+		}
+		for k, w := range g.Neighbors(id) {
+			e := p.ov.EdgeID(id, k)
+			if f := p.cur[e]; f > 0 {
+				p.inv[w] += f
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		id := PeerID(v)
+		if !p.ov.Online(id) {
+			continue
+		}
+		for k, w := range g.Neighbors(id) {
+			e := p.ov.EdgeID(id, k)
+			if !p.ov.Online(w) || p.ov.IsCut(id, w) {
+				p.next[e] = 0
+				continue
+			}
+			// Everything that arrived at id except what came from w.
+			f := p.inv[v] - p.cur[p.ov.Reverse(e)]
+			if f < 0 {
+				f = 0
+			}
+			p.next[e] = f
+		}
+	}
+	p.cur, p.next = p.next, p.cur
+}
+
+// flush adds the current level's flows into the overlay counters and
+// returns the level total.
+func (p *Plane) flush() float64 {
+	var total float64
+	for e, f := range p.cur {
+		if f > 0 {
+			p.ov.AddTraffic(overlay.EdgeID(e), f)
+			total += f
+		}
+	}
+	return total
+}

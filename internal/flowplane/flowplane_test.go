@@ -1,0 +1,301 @@
+package flowplane
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ddpolice/internal/overlay"
+	"ddpolice/internal/rng"
+	"ddpolice/internal/topology"
+)
+
+func lineOverlay(t *testing.T, n int) *overlay.Overlay {
+	t.Helper()
+	b := topology.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		if err := b.AddEdge(topology.NodeID(i), topology.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return overlay.New(b.Build())
+}
+
+func baOverlay(t *testing.T, n int, seed uint64) *overlay.Overlay {
+	t.Helper()
+	g, err := topology.BarabasiAlbert(rng.New(seed), n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return overlay.New(g)
+}
+
+func TestLinePropagation(t *testing.T) {
+	ov := lineOverlay(t, 6)
+	p := New(ov)
+	total, err := p.AccumulateMinute([]Emission{{Source: 0, PerMinute: 100}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov.RollMinute()
+	// Non-backtracking on a line: flow marches forward 3 hops.
+	for _, c := range []struct {
+		u, v topology.NodeID
+		want float64
+	}{{0, 1, 100}, {1, 2, 100}, {2, 3, 100}, {3, 4, 0}, {1, 0, 0}} {
+		if got := ov.LastMinute(c.u, c.v); got != c.want {
+			t.Errorf("flow %d->%d = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+	if total != 300 {
+		t.Errorf("total = %v, want 300", total)
+	}
+}
+
+func TestSplitEmission(t *testing.T) {
+	// Star: hub 0 with 4 leaves. Split emission divides over the edges.
+	b := topology.NewBuilder(5)
+	for i := 1; i < 5; i++ {
+		if err := b.AddEdge(0, topology.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ov := overlay.New(b.Build())
+	p := New(ov)
+	if _, err := p.AccumulateMinute([]Emission{{Source: 0, PerMinute: 100, Split: true}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	ov.RollMinute()
+	for leaf := topology.NodeID(1); leaf < 5; leaf++ {
+		if got := ov.LastMinute(0, leaf); got != 25 {
+			t.Errorf("split flow to %d = %v, want 25", leaf, got)
+		}
+	}
+}
+
+func TestBroadcastEmission(t *testing.T) {
+	b := topology.NewBuilder(4)
+	for i := 1; i < 4; i++ {
+		if err := b.AddEdge(0, topology.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ov := overlay.New(b.Build())
+	p := New(ov)
+	if _, err := p.AccumulateMinute([]Emission{{Source: 0, PerMinute: 100}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	ov.RollMinute()
+	for leaf := topology.NodeID(1); leaf < 4; leaf++ {
+		if got := ov.LastMinute(0, leaf); got != 100 {
+			t.Errorf("broadcast flow to %d = %v, want 100", leaf, got)
+		}
+	}
+}
+
+// TestIndicatorUpperBoundAndTTLDeficit documents what the idealized
+// walk plane actually shows (DESIGN.md "Calibration", finding 1):
+//
+//   - the paper's stated upper bound g(j) <= issued(j)/(k*q0) holds for
+//     every peer (flows never make anyone look *worse* than the bound);
+//   - but the TTL-expiry deficit — final-level arrivals are counted as
+//     inflow yet never forwarded — drives g strongly negative for every
+//     forwarding peer, attackers included. This is why the experiments
+//     use the physical counter plane instead.
+func TestIndicatorUpperBoundAndTTLDeficit(t *testing.T) {
+	const q0 = 100.0
+	ov := baOverlay(t, 200, 3)
+	p := New(ov)
+	src := rng.New(9)
+	// Everyone issues a small background volume; one agent issues a lot.
+	var ems []Emission
+	issued := make([]float64, 200)
+	for v := 0; v < 200; v++ {
+		issued[v] = 1 + src.Float64()*5
+		ems = append(ems, Emission{Source: PeerID(v), PerMinute: issued[v], Split: true})
+	}
+	const agent = 42
+	issued[agent] = 20000
+	ems[agent].PerMinute = 20000
+	if _, err := p.AccumulateMinute(ems, 4); err != nil {
+		t.Fatal(err)
+	}
+	ov.RollMinute()
+	g := func(j PeerID) float64 {
+		nb := ov.Graph().Neighbors(j)
+		k := float64(len(nb))
+		var out, in float64
+		for _, m := range nb {
+			out += ov.LastMinute(j, m)
+			in += ov.LastMinute(m, j)
+		}
+		return (out - (k-1)*in) / (k * q0)
+	}
+	negative := 0
+	for v := 0; v < 200; v++ {
+		bound := issued[v] / (float64(ov.Graph().Degree(PeerID(v))) * q0)
+		gv := g(PeerID(v))
+		if gv > bound+1e-6 {
+			t.Errorf("peer %d: g=%v exceeds upper bound %v", v, gv, bound)
+		}
+		if gv < 0 {
+			negative++
+		}
+	}
+	if negative < 150 {
+		t.Errorf("only %d/200 peers have negative g; the TTL deficit should dominate", negative)
+	}
+	if ga := g(agent); ga > 0 {
+		t.Errorf("agent g = %v: the walk plane should mask it (that is the finding)", ga)
+	}
+}
+
+// TestSingleSourceTTL1Identity is the deficit-free case: with one
+// emission and TTL 1 there are no forwarded flows to expire, so the
+// agent's indicator is exactly issued/(k*q0) and every other peer reads
+// negative.
+func TestSingleSourceTTL1Identity(t *testing.T) {
+	const q0 = 100.0
+	ov := baOverlay(t, 200, 3)
+	p := New(ov)
+	const agent = 42
+	if _, err := p.AccumulateMinute([]Emission{{Source: agent, PerMinute: 20000, Split: true}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	ov.RollMinute()
+	nb := ov.Graph().Neighbors(agent)
+	k := float64(len(nb))
+	var out, in float64
+	for _, m := range nb {
+		out += ov.LastMinute(agent, m)
+		in += ov.LastMinute(m, agent)
+	}
+	got := (out - (k-1)*in) / (k * q0)
+	want := 20000 / (k * q0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("agent g = %v, want exactly %v", got, want)
+	}
+}
+
+func TestFlowConservationProperty(t *testing.T) {
+	// Property: total counted flow never exceeds the geometric
+	// amplification bound sum_h emission*(maxdeg-1)^(h-1)*deg and is
+	// positive whenever the source has active neighbors.
+	if err := quick.Check(func(seed uint64, rawTTL uint8) bool {
+		ttl := int(rawTTL%4) + 1
+		ov := baOverlay(t, 100, seed%16+1)
+		p := New(ov)
+		total, err := p.AccumulateMinute([]Emission{{Source: 5, PerMinute: 60}}, ttl)
+		if err != nil {
+			return false
+		}
+		deg := float64(ov.Graph().Degree(5))
+		maxDeg := float64(ov.Graph().MaxDegree())
+		bound := 0.0
+		level := 60 * deg
+		for h := 0; h < ttl; h++ {
+			bound += level
+			level *= maxDeg - 1
+		}
+		return total > 0 && total <= bound+1e-6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfflineAndCutEdgesCarryNoFlow(t *testing.T) {
+	ov := lineOverlay(t, 5)
+	ov.SetOnline(2, false)
+	p := New(ov)
+	if _, err := p.AccumulateMinute([]Emission{{Source: 0, PerMinute: 100}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	ov.RollMinute()
+	if got := ov.LastMinute(1, 2); got != 0 {
+		t.Errorf("flow into offline peer = %v", got)
+	}
+	// Cut edge.
+	ov2 := lineOverlay(t, 5)
+	if err := ov2.Cut(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	p2 := New(ov2)
+	if _, err := p2.AccumulateMinute([]Emission{{Source: 0, PerMinute: 100}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	ov2.RollMinute()
+	if got := ov2.LastMinute(1, 2); got != 0 {
+		t.Errorf("flow across cut edge = %v", got)
+	}
+	if got := ov2.LastMinute(0, 1); got != 100 {
+		t.Errorf("flow before cut = %v, want 100", got)
+	}
+}
+
+func TestOfflineSourceEmitsNothing(t *testing.T) {
+	ov := lineOverlay(t, 3)
+	ov.SetOnline(0, false)
+	p := New(ov)
+	total, err := p.AccumulateMinute([]Emission{{Source: 0, PerMinute: 100}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("offline source emitted %v", total)
+	}
+}
+
+func TestInvalidTTL(t *testing.T) {
+	p := New(lineOverlay(t, 3))
+	if _, err := p.AccumulateMinute(nil, 0); err == nil {
+		t.Fatal("ttl 0 accepted")
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// Flows are linear: two emissions together equal the sum of each
+	// alone.
+	mk := func(ems []Emission) []float64 {
+		ov := baOverlay(t, 80, 7)
+		p := New(ov)
+		if _, err := p.AccumulateMinute(ems, 3); err != nil {
+			t.Fatal(err)
+		}
+		ov.RollMinute()
+		out := make([]float64, 0, 200)
+		g := ov.Graph()
+		for v := 0; v < 80; v++ {
+			for _, w := range g.Neighbors(topology.NodeID(v)) {
+				out = append(out, ov.LastMinute(topology.NodeID(v), w))
+			}
+		}
+		return out
+	}
+	a := mk([]Emission{{Source: 3, PerMinute: 50}})
+	b := mk([]Emission{{Source: 60, PerMinute: 70, Split: true}})
+	both := mk([]Emission{{Source: 3, PerMinute: 50}, {Source: 60, PerMinute: 70, Split: true}})
+	for i := range both {
+		if math.Abs(both[i]-(a[i]+b[i])) > 1e-6 {
+			t.Fatalf("linearity violated at edge %d: %v != %v + %v", i, both[i], a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkAccumulateMinute2000(b *testing.B) {
+	g, err := topology.BarabasiAlbert(rng.New(1), 2000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ov := overlay.New(g)
+	p := New(ov)
+	ems := make([]Emission, 0, 2000)
+	for v := 0; v < 2000; v++ {
+		ems = append(ems, Emission{Source: PeerID(v), PerMinute: 0.3, Split: true})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.AccumulateMinute(ems, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

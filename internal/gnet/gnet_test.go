@@ -1,0 +1,327 @@
+package gnet
+
+import (
+	"testing"
+	"time"
+
+	"ddpolice/internal/capacity"
+	"ddpolice/internal/police"
+)
+
+func newTestNode(t *testing.T, name string, id int32, mutate func(*Config)) *Node {
+	t.Helper()
+	cfg := DefaultConfig(name)
+	cfg.NodeID = id
+	cfg.Seed = uint64(id) + 1
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("timeout: " + msg)
+}
+
+func TestHandshakeAndNeighbors(t *testing.T) {
+	a := newTestNode(t, "a", 1, nil)
+	b := newTestNode(t, "b", 2, nil)
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(a.Neighbors()) == 1 }, "a sees b")
+	waitFor(t, 2*time.Second, func() bool { return len(b.Neighbors()) == 1 }, "b sees a")
+	if got := a.Neighbors()[0]; got != 2 {
+		t.Fatalf("a's neighbor id = %d", got)
+	}
+	if got := b.Neighbors()[0]; got != 1 {
+		t.Fatalf("b's neighbor id = %d", got)
+	}
+}
+
+func TestQueryFloodAndHit(t *testing.T) {
+	// a - b - c, with c sharing the object: a's query must traverse two
+	// hops and the hit must route back along the reverse path.
+	a := newTestNode(t, "a", 1, nil)
+	b := newTestNode(t, "b", 2, nil)
+	c := newTestNode(t, "c", 3, func(cfg *Config) {
+		cfg.SharedObjects = []string{"ubuntu iso"}
+	})
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(c.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(b.Neighbors()) == 2 }, "b fully connected")
+
+	hits, err := a.IssueQuery("ubuntu iso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case hit := <-hits:
+		if hit.HitCount != 1 {
+			t.Fatalf("hit count = %d", hit.HitCount)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no QueryHit within deadline")
+	}
+	if got := c.Stats().HitsSent; got != 1 {
+		t.Fatalf("c sent %d hits", got)
+	}
+	if got := b.Stats().QueriesForwarded; got == 0 {
+		t.Fatal("b forwarded nothing")
+	}
+}
+
+func TestQueryMissesUnsharedObject(t *testing.T) {
+	a := newTestNode(t, "a", 1, nil)
+	b := newTestNode(t, "b", 2, func(cfg *Config) {
+		cfg.SharedObjects = []string{"something else"}
+	})
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(a.Neighbors()) == 1 }, "connected")
+	hits, err := a.IssueQuery("ubuntu iso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-hits:
+		t.Fatal("hit for unshared object")
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestIssueQueryWithoutNeighbors(t *testing.T) {
+	a := newTestNode(t, "a", 1, nil)
+	if _, err := a.IssueQuery("x"); err == nil {
+		t.Fatal("expected error with no neighbors")
+	}
+}
+
+func TestTTLBoundsPropagation(t *testing.T) {
+	// Line a-b-c-d with TTL 2 from a: c receives (ttl 1) but must not
+	// forward to d.
+	a := newTestNode(t, "a", 1, func(cfg *Config) { cfg.TTL = 2 })
+	b := newTestNode(t, "b", 2, nil)
+	c := newTestNode(t, "c", 3, nil)
+	d := newTestNode(t, "d", 4, func(cfg *Config) {
+		cfg.SharedObjects = []string{"prize"}
+	})
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(c.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(d.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return len(b.Neighbors()) == 2 && len(c.Neighbors()) == 2
+	}, "line connected")
+	hits, err := a.IssueQuery("prize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-hits:
+		t.Fatal("hit beyond TTL")
+	case <-time.After(400 * time.Millisecond):
+	}
+	if got := d.Stats().QueriesReceived; got != 0 {
+		t.Fatalf("d received %d queries despite TTL 2", got)
+	}
+}
+
+// TestFig5PipelineSaturation reproduces the paper's A -> B -> C testbed
+// at reduced rate: when A offers more than B's capacity, B processes at
+// capacity and drops the excess (Figures 5 and 6).
+func TestFig5PipelineSaturation(t *testing.T) {
+	const capPerMin = 1200 // 20/s processing capacity at B
+	a := newTestNode(t, "A", 1, nil)
+	b := newTestNode(t, "B", 2, func(cfg *Config) {
+		cfg.CapacityPerMin = capPerMin
+		cfg.Burst = 5
+	})
+	c := newTestNode(t, "C", 3, nil)
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(c.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(b.Neighbors()) == 2 }, "pipeline connected")
+
+	// Offer ~3x B's capacity for two seconds.
+	stop := time.After(2 * time.Second)
+	ticker := time.NewTicker(time.Second / 60) // 60/s offered vs 20/s capacity
+	defer ticker.Stop()
+	offered := 0
+offerLoop:
+	for {
+		select {
+		case <-ticker.C:
+			a.SendRawQuery("bogus query")
+			offered++
+		case <-stop:
+			break offerLoop
+		}
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		st := b.Stats()
+		return st.QueriesProcessed+st.QueriesDropped >= uint64(offered)
+	}, "B accounted for all offered queries")
+
+	st := b.Stats()
+	if st.QueriesDropped == 0 {
+		t.Fatalf("B dropped nothing at 3x capacity (processed %d of %d)", st.QueriesProcessed, offered)
+	}
+	dropRate := float64(st.QueriesDropped) / float64(st.QueriesProcessed+st.QueriesDropped)
+	if dropRate < 0.4 || dropRate > 0.9 {
+		t.Errorf("drop rate = %.2f, want roughly 1 - capacity/offered (~0.67)", dropRate)
+	}
+	// C receives what B processed and forwarded, not what A offered.
+	if got := c.Stats().QueriesReceived; got > st.QueriesProcessed {
+		t.Errorf("C received %d, more than B processed (%d)", got, st.QueriesProcessed)
+	}
+}
+
+// TestLiveDDPoliceDetection: a star of good peers around a hub; an
+// attacker node floods bogus queries; the hub's DD-POLICE monitor must
+// disconnect it within a few (shortened) minutes.
+func TestLiveDDPoliceDetection(t *testing.T) {
+	pcfg := police.DefaultConfig()
+	pcfg.WarnThreshold = 50 // scaled down with the attack rate
+	pcfg.CutThreshold = 5
+	pcfg.Q0 = 10
+	short := 400 * time.Millisecond
+	withPolice := func(cfg *Config) {
+		cfg.Police = &pcfg
+		cfg.MinuteLength = short
+		cfg.CapacityPerMin = capacity.TestbedSaturationPerMin
+	}
+	hub := newTestNode(t, "hub", 1, withPolice)
+	good1 := newTestNode(t, "good1", 2, withPolice)
+	good2 := newTestNode(t, "good2", 3, withPolice)
+	// The agent is a stock client with an added flooding thread (§2.3):
+	// it participates in the list exchange like everyone else.
+	attacker := newTestNode(t, "attacker", 66, withPolice)
+	for _, n := range []*Node{good1, good2, attacker} {
+		if err := n.Connect(hub.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(hub.Neighbors()) == 3 }, "star connected")
+
+	// The attacker floods distinct bogus queries far above q0.
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		i := 0
+		for {
+			select {
+			case <-ticker.C:
+				attacker.SendRawQuery("bogus " + time.Now().String())
+				i++
+			case <-done:
+				return
+			}
+		}
+	}()
+	defer close(done)
+
+	waitFor(t, 15*time.Second, func() bool {
+		for _, d := range hub.Stats().Disconnects {
+			if d.Code == 451 {
+				return true
+			}
+		}
+		return false
+	}, "hub disconnected the attacker")
+	// The attacker must be gone from the hub's neighbor set.
+	waitFor(t, 2*time.Second, func() bool {
+		for _, id := range hub.Neighbors() {
+			if id == 66 {
+				return false
+			}
+		}
+		return true
+	}, "attacker removed")
+	// Good peers must still be connected.
+	for _, id := range []int32{2, 3} {
+		found := false
+		for _, got := range hub.Neighbors() {
+			if got == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("good peer %d was disconnected", id)
+		}
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	cfg := DefaultConfig("x")
+	cfg.CapacityPerMin = 0
+	if _, err := NewNode(cfg); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	cfg = DefaultConfig("x")
+	bad := police.DefaultConfig()
+	bad.Q0 = 0
+	cfg.Police = &bad
+	if _, err := NewNode(cfg); err == nil {
+		t.Fatal("invalid police config accepted")
+	}
+}
+
+func TestCleanShutdownUnderTraffic(t *testing.T) {
+	a := newTestNode(t, "a", 1, nil)
+	b := newTestNode(t, "b", 2, nil)
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(a.Neighbors()) == 1 }, "connected")
+	for i := 0; i < 100; i++ {
+		a.SendRawQuery("load")
+	}
+	// Cleanup (t.Cleanup) closes both nodes; the test passes if nothing
+	// deadlocks or panics.
+}
+
+func TestDisconnectSendsByeAndDrops(t *testing.T) {
+	a := newTestNode(t, "a", 1, nil)
+	b := newTestNode(t, "b", 2, nil)
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(b.Neighbors()) == 1 }, "connected")
+	if err := a.Disconnect(2, 200, "orderly shutdown"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(a.Neighbors()) == 0 }, "a dropped b")
+	// b processes the Bye and drops a too.
+	waitFor(t, 2*time.Second, func() bool { return len(b.Neighbors()) == 0 }, "b honored the Bye")
+	if err := a.Disconnect(99, 200, "x"); err == nil {
+		t.Fatal("disconnecting unknown neighbor succeeded")
+	}
+}

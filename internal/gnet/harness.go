@@ -1,0 +1,62 @@
+package gnet
+
+import (
+	"fmt"
+
+	"ddpolice/internal/topology"
+)
+
+// Harness spins up a set of live nodes wired into a given topology on
+// localhost — used by tests and demos to run real-TCP overlays without
+// hand-managing addresses.
+type Harness struct {
+	nodes []*Node
+}
+
+// NewHarness starts one node per topology vertex (node i gets overlay
+// id i+1) and dials every edge. mutate, if non-nil, customizes each
+// node's config before start.
+func NewHarness(g *topology.Graph, mutate func(i int, cfg *Config)) (*Harness, error) {
+	h := &Harness{}
+	for i := 0; i < g.NumNodes(); i++ {
+		cfg := DefaultConfig(fmt.Sprintf("n%d", i))
+		cfg.NodeID = int32(i + 1)
+		cfg.Seed = uint64(i + 1)
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.nodes = append(h.nodes, n)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(topology.NodeID(u)) {
+			if int(v) < u {
+				continue // dial each undirected edge once
+			}
+			if err := h.nodes[u].Connect(h.nodes[v].Addr()); err != nil {
+				h.Close()
+				return nil, fmt.Errorf("edge %d-%d: %w", u, v, err)
+			}
+		}
+	}
+	return h, nil
+}
+
+// Node returns the i-th node (topology vertex i).
+func (h *Harness) Node(i int) *Node { return h.nodes[i] }
+
+// Len returns the number of nodes.
+func (h *Harness) Len() int { return len(h.nodes) }
+
+// Close shuts all nodes down.
+func (h *Harness) Close() {
+	for _, n := range h.nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}

@@ -1,0 +1,483 @@
+// Package gnet implements a live Gnutella-lite node over TCP: the
+// 0.6-style handshake, binary message framing (internal/protocol), a
+// flooding query router with duplicate suppression and reverse-path
+// QueryHit routing, a token-bucket processing model (the paper's §2.3
+// testbed behaviour), and the DD-POLICE monitoring/defense extension.
+//
+// It reproduces the paper's real-machine experiments: the three-peer
+// A -> B -> C pipeline behind Figures 5-6 (see examples/live_overlay and
+// the Fig5/Fig6 benches) and the DDoS-agent prototype of Figure 4 (a
+// node that replays a query trace at a configured rate).
+package gnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"ddpolice/internal/capacity"
+	"ddpolice/internal/police"
+	"ddpolice/internal/protocol"
+	"ddpolice/internal/rng"
+)
+
+// handshake strings (Gnutella 0.6 flavor).
+const (
+	helloLine  = "GNUTELLA CONNECT/0.6"
+	okLine     = "GNUTELLA/0.6 200 OK"
+	headerTerm = "\r\n\r\n"
+)
+
+// Config parameterizes a Node.
+type Config struct {
+	// Name labels the node in logs and errors.
+	Name string
+	// NodeID is the node's overlay identity, carried in handshakes and
+	// encoded as the synthetic 10.x.y.z address in Table 1 messages
+	// (the paper identifies peers by IP; we virtualize that for
+	// single-host deployments).
+	NodeID int32
+	// ListenAddr is the TCP listen address ("127.0.0.1:0" for tests).
+	ListenAddr string
+	// CapacityPerMin is the query-processing rate (paper: a dedicated
+	// peer saturates at ~15,000/min; an in-the-wild peer at ~10,000).
+	CapacityPerMin float64
+	// Burst is the token bucket depth; defaults to one second of
+	// capacity.
+	Burst float64
+	// TTL for queries this node issues.
+	TTL byte
+	// SharedObjects is the set of object keywords this node answers.
+	SharedObjects []string
+	// Police enables the DD-POLICE monitor with the given parameters;
+	// nil disables it.
+	Police *police.Config
+	// Seed drives GUID generation.
+	Seed uint64
+	// MinuteLength shortens the monitoring window for tests; defaults
+	// to one minute.
+	MinuteLength time.Duration
+}
+
+// DefaultConfig returns a node config matching the paper's testbed.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:           name,
+		ListenAddr:     "127.0.0.1:0",
+		CapacityPerMin: capacity.TestbedSaturationPerMin,
+		TTL:            protocol.DefaultTTL,
+		Seed:           1,
+	}
+}
+
+// Stats is a snapshot of a node's counters.
+type Stats struct {
+	QueriesReceived  uint64
+	QueriesProcessed uint64
+	QueriesDropped   uint64 // capacity drops (the Fig 6 numerator)
+	QueriesForwarded uint64 // copies sent to neighbors
+	DupDropped       uint64
+	HitsSent         uint64
+	HitsReceived     uint64
+	BytesIn          uint64
+	BytesOut         uint64
+	Disconnects      []Disconnect
+}
+
+// Disconnect records a DD-POLICE cut performed by this node.
+type Disconnect struct {
+	Peer    string
+	Code    uint16
+	Reason  string
+	General float64
+	Single  float64
+}
+
+// Node is one live overlay peer. All state is owned by the run loop
+// goroutine; external callers communicate through channels.
+type Node struct {
+	cfg      Config
+	ln       net.Listener
+	proc     *capacity.Processor
+	src      *rng.Source
+	shared   map[string]bool
+	inbox    chan inboundMsg
+	ctl      chan func()
+	done     chan struct{}
+	closed   chan struct{}
+	wg       sync.WaitGroup
+	closeOne sync.Once
+
+	peers     map[int32]*peerConn // key: remote overlay identity
+	guidRoute map[protocol.GUID]*peerConn
+	seen      map[protocol.GUID]struct{}
+	forwarded map[protocol.GUID][]int32 // neighbors we forwarded each query to
+	hits      map[protocol.GUID]chan protocol.QueryHit
+
+	stats   Stats
+	statsMu sync.Mutex
+
+	monitor *monitor
+}
+
+// inboundMsg is one decoded message plus its source connection.
+type inboundMsg struct {
+	from *peerConn
+	msg  protocol.Message
+}
+
+// peerConn is one neighbor link.
+type peerConn struct {
+	conn     net.Conn
+	addr     string // remote advertised listen address (for dialing)
+	id       int32  // remote overlay identity
+	sendCh   chan []byte
+	node     *Node
+	closeOne sync.Once
+}
+
+// NewNode starts a node listening on cfg.ListenAddr.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.CapacityPerMin <= 0 {
+		return nil, fmt.Errorf("gnet: capacity %v", cfg.CapacityPerMin)
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = protocol.DefaultTTL
+	}
+	if cfg.MinuteLength == 0 {
+		cfg.MinuteLength = time.Minute
+	}
+	proc, err := capacity.NewProcessor(cfg.CapacityPerMin, cfg.Burst)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("gnet: listen: %w", err)
+	}
+	n := &Node{
+		cfg:       cfg,
+		ln:        ln,
+		proc:      proc,
+		src:       rng.New(cfg.Seed),
+		shared:    make(map[string]bool),
+		inbox:     make(chan inboundMsg, 1024),
+		ctl:       make(chan func(), 64),
+		done:      make(chan struct{}),
+		closed:    make(chan struct{}),
+		peers:     make(map[int32]*peerConn),
+		guidRoute: make(map[protocol.GUID]*peerConn),
+		seen:      make(map[protocol.GUID]struct{}),
+		forwarded: make(map[protocol.GUID][]int32),
+		hits:      make(map[protocol.GUID]chan protocol.QueryHit),
+	}
+	for _, obj := range cfg.SharedObjects {
+		n.shared[obj] = true
+	}
+	if cfg.Police != nil {
+		if err := cfg.Police.Validate(); err != nil {
+			ln.Close()
+			return nil, err
+		}
+		n.monitor = newMonitor(n, *cfg.Police)
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.runLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Name returns the node's label.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() {
+	n.closeOne.Do(func() {
+		close(n.done)
+		n.ln.Close()
+	})
+	n.wg.Wait()
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	out := n.stats
+	out.Disconnects = append([]Disconnect(nil), n.stats.Disconnects...)
+	return out
+}
+
+// Neighbors returns the overlay ids of current neighbors.
+func (n *Node) Neighbors() []int32 {
+	res := make(chan []int32, 1)
+	select {
+	case n.ctl <- func() {
+		var out []int32
+		for id := range n.peers {
+			out = append(out, id)
+		}
+		res <- out
+	}:
+	case <-n.closed:
+		return nil
+	}
+	select {
+	case out := <-res:
+		return out
+	case <-n.closed:
+		return nil
+	}
+}
+
+// Connect dials and handshakes with a remote node's listen address,
+// establishing a full neighbor relationship.
+func (n *Node) Connect(addr string) error {
+	conn, err := dialHandshake(addr, n.Addr(), n.cfg.NodeID, false)
+	if err != nil {
+		return err
+	}
+	id, raddr, err := readPeerIdentity(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if raddr == "" {
+		raddr = addr
+	}
+	n.adoptConn(conn, raddr, id, true)
+	return nil
+}
+
+// dialHandshake dials addr and performs the initiator handshake.
+// transient connections are used for out-of-band Neighbor_Traffic
+// exchanges and are not registered as neighbors on either side.
+func dialHandshake(addr, listenAddr string, nodeID int32, transient bool) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("gnet: dial %s: %w", addr, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	conn.SetDeadline(deadline)
+	kind := ""
+	if transient {
+		kind = "Transient: true\r\n"
+	}
+	if _, err := fmt.Fprintf(conn, "%s\r\nListen-Addr: %s\r\nNode-ID: %d\r\n%s\r\n",
+		helloLine, listenAddr, nodeID, kind); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("gnet: handshake write: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// readPeerIdentity reads the responder's handshake block.
+func readPeerIdentity(conn net.Conn) (int32, string, error) {
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	defer conn.SetDeadline(time.Time{})
+	resp, err := readHandshake(conn)
+	if err != nil {
+		return 0, "", err
+	}
+	if !strings.HasPrefix(resp, okLine) {
+		return 0, "", fmt.Errorf("gnet: handshake rejected: %q", firstLine(resp))
+	}
+	var id int64
+	fmt.Sscanf(headerValue(resp, "Node-ID"), "%d", &id)
+	return int32(id), headerValue(resp, "Listen-Addr"), nil
+}
+
+// serverHandshake runs the acceptor side; it returns the remote's
+// identity, advertised listen address, and whether the connection is a
+// transient control channel.
+func (n *Node) serverHandshake(conn net.Conn) (int32, string, bool, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	req, err := readHandshake(conn)
+	if err != nil {
+		return 0, "", false, err
+	}
+	if !strings.HasPrefix(req, helloLine) {
+		return 0, "", false, fmt.Errorf("gnet: bad hello: %q", firstLine(req))
+	}
+	remote := headerValue(req, "Listen-Addr")
+	if remote == "" {
+		remote = conn.RemoteAddr().String()
+	}
+	var id int64
+	fmt.Sscanf(headerValue(req, "Node-ID"), "%d", &id)
+	transient := headerValue(req, "Transient") == "true"
+	if _, err := fmt.Fprintf(conn, "%s\r\nListen-Addr: %s\r\nNode-ID: %d%s",
+		okLine, n.Addr(), n.cfg.NodeID, headerTerm); err != nil {
+		return 0, "", false, fmt.Errorf("gnet: handshake reply: %w", err)
+	}
+	return int32(id), remote, transient, nil
+}
+
+// readHandshake reads until the blank-line terminator.
+func readHandshake(conn net.Conn) (string, error) {
+	var sb strings.Builder
+	buf := make([]byte, 1)
+	for sb.Len() < 4096 {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return "", fmt.Errorf("gnet: handshake read: %w", err)
+		}
+		sb.WriteByte(buf[0])
+		if strings.HasSuffix(sb.String(), headerTerm) {
+			return sb.String(), nil
+		}
+	}
+	return "", errors.New("gnet: handshake too long")
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\r'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func headerValue(block, key string) string {
+	for _, line := range strings.Split(block, "\r\n") {
+		if rest, ok := strings.CutPrefix(line, key+": "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			continue
+		}
+		go func() {
+			id, remote, transient, err := n.serverHandshake(conn)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			n.adoptConn(conn, remote, id, !transient)
+		}()
+	}
+}
+
+// adoptConn starts a handshaked connection's pumps; register=false
+// keeps it off the neighbor table (transient control channel).
+func (n *Node) adoptConn(conn net.Conn, addr string, id int32, register bool) {
+	pc := &peerConn{conn: conn, addr: addr, id: id, sendCh: make(chan []byte, 256), node: n}
+	if register {
+		select {
+		case n.ctl <- func() {
+			if old, dup := n.peers[id]; dup {
+				old.close()
+			}
+			n.peers[id] = pc
+			if n.monitor != nil {
+				n.monitor.onNeighborUp(id)
+			}
+		}:
+		case <-n.closed:
+			conn.Close()
+			return
+		}
+	}
+	n.wg.Add(2)
+	go pc.readLoop()
+	go pc.writeLoop()
+}
+
+func (pc *peerConn) close() {
+	pc.closeOne.Do(func() {
+		pc.conn.Close()
+		close(pc.sendCh)
+	})
+}
+
+// send enqueues wire bytes, dropping on backpressure (a slow neighbor
+// must not stall the node; this is where a saturated peer's drops show
+// up on the sender side).
+func (pc *peerConn) send(wire []byte) bool {
+	defer func() { recover() }() // racing close(sendCh) loses the message
+	select {
+	case pc.sendCh <- wire:
+		return true
+	default:
+		return false
+	}
+}
+
+func (pc *peerConn) writeLoop() {
+	defer pc.node.wg.Done()
+	for wire := range pc.sendCh {
+		if _, err := pc.conn.Write(wire); err != nil {
+			pc.conn.Close()
+			// Drain remaining queued messages until close.
+			for range pc.sendCh {
+			}
+			return
+		}
+		pc.node.statsMu.Lock()
+		pc.node.stats.BytesOut += uint64(len(wire))
+		pc.node.statsMu.Unlock()
+	}
+}
+
+func (pc *peerConn) readLoop() {
+	n := pc.node
+	defer n.wg.Done()
+	defer func() {
+		select {
+		case n.ctl <- func() { n.dropPeer(pc) }:
+		case <-n.closed:
+		}
+	}()
+	sr := protocol.NewStreamReader(pc.conn, 64*1024)
+	sr.Skip = true // survive peers speaking newer payload types
+	for {
+		msg, err := sr.Next()
+		if err != nil {
+			return
+		}
+		n.statsMu.Lock()
+		n.stats.BytesIn += uint64(protocol.HeaderSize) + uint64(msg.Header.PayloadLen)
+		n.statsMu.Unlock()
+		select {
+		case n.inbox <- inboundMsg{from: pc, msg: msg}:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// dropPeer removes a neighbor (run-loop goroutine only).
+func (n *Node) dropPeer(pc *peerConn) {
+	if cur, ok := n.peers[pc.id]; ok && cur == pc {
+		delete(n.peers, pc.id)
+		if n.monitor != nil {
+			n.monitor.onNeighborDown(pc.id)
+		}
+	}
+	pc.close()
+	for guid, route := range n.guidRoute {
+		if route == pc {
+			delete(n.guidRoute, guid)
+		}
+	}
+}

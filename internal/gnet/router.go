@@ -1,0 +1,271 @@
+package gnet
+
+import (
+	"fmt"
+	"time"
+
+	"ddpolice/internal/protocol"
+)
+
+// runLoop owns all node state: it processes inbound messages, control
+// closures, token refills and monitor windows in a single goroutine
+// (share memory by communicating).
+func (n *Node) runLoop() {
+	defer n.wg.Done()
+	defer close(n.closed)
+	defer func() {
+		for _, pc := range n.peers {
+			pc.close()
+		}
+	}()
+
+	refill := time.NewTicker(100 * time.Millisecond)
+	defer refill.Stop()
+	var minute *time.Ticker
+	var minuteCh <-chan time.Time
+	if n.monitor != nil {
+		minute = time.NewTicker(n.cfg.MinuteLength)
+		minuteCh = minute.C
+		defer minute.Stop()
+	}
+	last := time.Now()
+	for {
+		select {
+		case <-n.done:
+			return
+		case fn := <-n.ctl:
+			fn()
+		case now := <-refill.C:
+			n.proc.Tick(now.Sub(last).Seconds())
+			last = now
+		case <-minuteCh:
+			n.monitor.closeMinute()
+		case in := <-n.inbox:
+			n.handle(in)
+		}
+	}
+}
+
+// handle dispatches one inbound message (run-loop goroutine only).
+func (n *Node) handle(in inboundMsg) {
+	switch body := in.msg.Body.(type) {
+	case protocol.Query:
+		n.handleQuery(in.from, in.msg.Header, body)
+	case protocol.QueryHit:
+		n.handleQueryHit(in.from, in.msg.Header, body)
+	case protocol.Ping:
+		pong := protocol.Pong{Addr: protocol.AddrFromNodeID(0, 0), FileCount: uint32(len(n.shared))}
+		in.from.send(protocol.Encode(nil, in.msg.Header.GUID, 1, 0, pong))
+	case protocol.Pong:
+		// Liveness only.
+	case protocol.Bye:
+		n.dropPeer(in.from)
+	case protocol.NeighborList:
+		if n.monitor != nil {
+			n.monitor.onNeighborList(in.from.id, body)
+		}
+	case protocol.NeighborTraffic:
+		if n.monitor != nil {
+			n.monitor.onNeighborTraffic(in.from, body)
+		}
+	}
+}
+
+// handleQuery implements the §2.3 peer behaviour: count the arrival,
+// dedup by GUID, consume a processing token ("first look up its local
+// sharing storage index, and then forward the query"), answer if the
+// local index matches, and rebroadcast to every other neighbor.
+func (n *Node) handleQuery(from *peerConn, h protocol.Header, q protocol.Query) {
+	n.statsMu.Lock()
+	n.stats.QueriesReceived++
+	n.statsMu.Unlock()
+	if _, dup := n.seen[h.GUID]; dup {
+		n.statsMu.Lock()
+		n.stats.DupDropped++
+		n.statsMu.Unlock()
+		if n.monitor != nil {
+			// The sender evidently had this query already: if we had
+			// counted a forward of it to them, cancel that count so the
+			// monitors implement the paper's no-duplication accounting
+			// (duplicate copies exist on the wire but are never counted
+			// by Out_query/In_query; Fig 2).
+			if fwd, ok := n.forwarded[h.GUID]; ok {
+				for i, id := range fwd {
+					if id == from.id {
+						n.monitor.uncountOut(id)
+						n.forwarded[h.GUID] = append(fwd[:i], fwd[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return
+	}
+	if n.monitor != nil {
+		n.monitor.countIn(from.id) // first copy only (no-dup accounting)
+	}
+	n.rememberGUID(h.GUID)
+	n.guidRoute[h.GUID] = from
+
+	if !n.proc.TryProcess() {
+		n.statsMu.Lock()
+		n.stats.QueriesDropped++
+		n.statsMu.Unlock()
+		return
+	}
+	n.statsMu.Lock()
+	n.stats.QueriesProcessed++
+	n.statsMu.Unlock()
+
+	if n.shared[q.Keywords] {
+		hit := protocol.QueryHit{HitCount: 1, QueryGUID: h.GUID}
+		if from.send(protocol.Encode(nil, protocol.NewGUID(n.src), n.cfg.TTL, 0, hit)) {
+			n.statsMu.Lock()
+			n.stats.HitsSent++
+			n.statsMu.Unlock()
+		}
+	}
+	if h.TTL <= 1 {
+		return
+	}
+	wire := protocol.Encode(nil, h.GUID, h.TTL-1, h.Hops+1, q)
+	for id, pc := range n.peers {
+		if pc == from {
+			continue
+		}
+		if pc.send(wire) {
+			n.statsMu.Lock()
+			n.stats.QueriesForwarded++
+			n.statsMu.Unlock()
+			if n.monitor != nil {
+				n.monitor.countOut(id)
+				n.forwarded[h.GUID] = append(n.forwarded[h.GUID], id)
+			}
+		}
+	}
+}
+
+// handleQueryHit routes a hit backwards along the query's reverse path;
+// hits addressed to one of our own queries complete the local waiter.
+func (n *Node) handleQueryHit(from *peerConn, h protocol.Header, qh protocol.QueryHit) {
+	n.statsMu.Lock()
+	n.stats.HitsReceived++
+	n.statsMu.Unlock()
+	if ch, mine := n.hits[qh.QueryGUID]; mine {
+		select {
+		case ch <- qh:
+		default:
+		}
+		return
+	}
+	if back, ok := n.guidRoute[qh.QueryGUID]; ok && back != from && h.TTL > 1 {
+		back.send(protocol.Encode(nil, h.GUID, h.TTL-1, h.Hops+1, qh))
+	}
+}
+
+// rememberGUID records a GUID in the dedup set, bounding its size.
+func (n *Node) rememberGUID(g protocol.GUID) {
+	if len(n.seen) > 1<<17 {
+		// Reset wholesale: a coarse but allocation-friendly LRU stand-in
+		// (GUID reuse across resets is astronomically unlikely).
+		n.seen = make(map[protocol.GUID]struct{})
+		n.guidRoute = make(map[protocol.GUID]*peerConn)
+		n.forwarded = make(map[protocol.GUID][]int32)
+	}
+	n.seen[g] = struct{}{}
+}
+
+// IssueQuery floods a query from this node and returns a channel that
+// yields the first QueryHit (buffered; never blocks the router).
+func (n *Node) IssueQuery(keywords string) (<-chan protocol.QueryHit, error) {
+	res := make(chan protocol.QueryHit, 1)
+	errCh := make(chan error, 1)
+	select {
+	case n.ctl <- func() {
+		guid := protocol.NewGUID(n.src)
+		n.rememberGUID(guid)
+		n.hits[guid] = res
+		wire := protocol.Encode(nil, guid, n.cfg.TTL, 0, protocol.Query{Keywords: keywords})
+		sent := 0
+		for id, pc := range n.peers {
+			if pc.send(wire) {
+				sent++
+				if n.monitor != nil {
+					n.monitor.countOut(id)
+				}
+			}
+		}
+		if sent == 0 {
+			errCh <- errNoNeighbors
+			return
+		}
+		errCh <- nil
+	}:
+	case <-n.closed:
+		return nil, errClosed
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	case <-n.closed:
+		return nil, errClosed
+	}
+}
+
+// SendRawQuery floods a pre-addressed query at full rate without
+// waiting for hits; the DDoS-agent prototype uses it to replay traces.
+func (n *Node) SendRawQuery(keywords string) {
+	select {
+	case n.ctl <- func() {
+		guid := protocol.NewGUID(n.src)
+		n.rememberGUID(guid)
+		wire := protocol.Encode(nil, guid, n.cfg.TTL, 0, protocol.Query{Keywords: keywords})
+		for id, pc := range n.peers {
+			if pc.send(wire) {
+				if n.monitor != nil {
+					n.monitor.countOut(id)
+				}
+			}
+		}
+	}:
+	case <-n.closed:
+	}
+}
+
+var (
+	errNoNeighbors = errorString("gnet: no neighbors")
+	errClosed      = errorString("gnet: node closed")
+)
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// Disconnect sends an orderly Bye to neighbor id and drops the link.
+func (n *Node) Disconnect(id int32, code uint16, reason string) error {
+	errCh := make(chan error, 1)
+	select {
+	case n.ctl <- func() {
+		pc, ok := n.peers[id]
+		if !ok {
+			errCh <- fmt.Errorf("gnet: no neighbor %d", id)
+			return
+		}
+		pc.send(protocol.Encode(nil, protocol.NewGUID(n.src), 1, 0,
+			protocol.Bye{Code: code, Reason: reason}))
+		n.dropPeer(pc)
+		errCh <- nil
+	}:
+	case <-n.closed:
+		return errClosed
+	}
+	select {
+	case err := <-errCh:
+		return err
+	case <-n.closed:
+		return errClosed
+	}
+}

@@ -1,0 +1,306 @@
+// Package msgsim is an exact message-level discrete-event simulator of
+// Gnutella flooding: every query copy is an event with its own arrival
+// time, TTL and path. It exists to cross-validate the tick-driven
+// flow/flood simulator (internal/sim) on small configurations — the
+// two models must agree on reach, message counts and success — and to
+// measure per-message timing effects the aggregate model abstracts.
+package msgsim
+
+import (
+	"fmt"
+
+	"ddpolice/internal/eventsim"
+	"ddpolice/internal/overlay"
+	"ddpolice/internal/rng"
+	"ddpolice/internal/topology"
+)
+
+// PeerID aliases the overlay peer identifier.
+type PeerID = overlay.PeerID
+
+// Config parameterizes a message-level run.
+type Config struct {
+	// CapacityPerMin is each peer's query-processing rate.
+	CapacityPerMin float64
+	// Burst is the token-bucket depth (defaults to one second of
+	// capacity when zero).
+	Burst float64
+	// HopDelay is the per-hop latency.
+	HopDelay eventsim.Time
+	// HopJitter adds uniform random latency in [0, HopJitter) per hop.
+	HopJitter eventsim.Time
+	// TTL is the flood time-to-live.
+	TTL int
+}
+
+// DefaultConfig mirrors the aggregate simulator's operating point.
+func DefaultConfig() Config {
+	return Config{
+		CapacityPerMin: 1000,
+		HopDelay:       50 * eventsim.Millisecond,
+		HopJitter:      10 * eventsim.Millisecond,
+		TTL:            3,
+	}
+}
+
+// QueryOutcome reports one completed query flood.
+type QueryOutcome struct {
+	ID            uint64
+	Issuer        PeerID
+	Issued        eventsim.Time
+	Processed     int     // peers that accepted and forwarded the query
+	QueryMessages float64 // copies sent
+	DupDrops      int
+	CapacityDrops int
+	Hit           bool
+	FirstHitHops  int
+	ResponseDelay eventsim.Time // first QueryHit arrival minus issue time
+}
+
+// Simulator runs message-level floods over an overlay.
+type Simulator struct {
+	cfg    Config
+	ov     *overlay.Overlay
+	eng    *eventsim.Engine
+	src    *rng.Source
+	tokens []float64
+	refill []eventsim.Time // last token update per peer
+
+	nextQuery uint64
+	seen      []map[uint64]struct{}
+	active    map[uint64]*activeQuery
+	done      []QueryOutcome
+}
+
+type activeQuery struct {
+	out     QueryOutcome
+	holders map[PeerID]struct{}
+	pending int // in-flight copies; the query finalizes at zero
+}
+
+// New creates a message-level simulator.
+func New(ov *overlay.Overlay, cfg Config, src *rng.Source) (*Simulator, error) {
+	if cfg.CapacityPerMin <= 0 {
+		return nil, fmt.Errorf("msgsim: capacity %v", cfg.CapacityPerMin)
+	}
+	if cfg.TTL < 1 {
+		return nil, fmt.Errorf("msgsim: ttl %d", cfg.TTL)
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.CapacityPerMin / 60
+	}
+	n := ov.NumPeers()
+	s := &Simulator{
+		cfg:    cfg,
+		ov:     ov,
+		eng:    eventsim.New(),
+		src:    src,
+		tokens: make([]float64, n),
+		refill: make([]eventsim.Time, n),
+		seen:   make([]map[uint64]struct{}, n),
+		active: make(map[uint64]*activeQuery),
+	}
+	for i := range s.tokens {
+		s.tokens[i] = cfg.Burst
+		s.seen[i] = make(map[uint64]struct{})
+	}
+	return s, nil
+}
+
+// Engine exposes the underlying event engine (for scheduling workload).
+func (s *Simulator) Engine() *eventsim.Engine { return s.eng }
+
+// takeToken updates v's bucket lazily and consumes one token if
+// available.
+func (s *Simulator) takeToken(v PeerID) bool {
+	now := s.eng.Now()
+	dt := (now - s.refill[v]).Seconds()
+	s.refill[v] = now
+	s.tokens[v] += dt * s.cfg.CapacityPerMin / 60
+	if s.tokens[v] > s.cfg.Burst {
+		s.tokens[v] = s.cfg.Burst
+	}
+	if s.tokens[v] < 1 {
+		return false
+	}
+	s.tokens[v]--
+	return true
+}
+
+// IssueAt schedules a query flood from issuer at virtual time t,
+// searching for an object held by holders.
+func (s *Simulator) IssueAt(t eventsim.Time, issuer PeerID, holders []topology.NodeID) uint64 {
+	id := s.nextQuery
+	s.nextQuery++
+	s.eng.At(t, func() {
+		if !s.ov.Online(issuer) {
+			s.done = append(s.done, QueryOutcome{
+				ID: id, Issuer: issuer, Issued: t, FirstHitHops: -1,
+			})
+			return
+		}
+		aq := &activeQuery{
+			out:     QueryOutcome{ID: id, Issuer: issuer, Issued: t, FirstHitHops: -1},
+			holders: make(map[PeerID]struct{}, len(holders)),
+		}
+		for _, h := range holders {
+			if h != issuer {
+				aq.holders[h] = struct{}{}
+			}
+		}
+		s.active[id] = aq
+		s.seen[issuer][id] = struct{}{}
+		s.forward(aq, issuer, noSender, s.cfg.TTL)
+		s.finalizeIfIdle(aq)
+	})
+	return id
+}
+
+const noSender PeerID = -1
+
+// forward sends the query from peer u to all its active neighbors
+// except sender, decrementing TTL.
+func (s *Simulator) forward(aq *activeQuery, u, sender PeerID, ttl int) {
+	if ttl <= 0 {
+		return
+	}
+	var nbuf []PeerID
+	for _, v := range s.ov.ActiveNeighbors(u, nbuf) {
+		if v == sender {
+			continue
+		}
+		v := v
+		delay := s.cfg.HopDelay
+		if s.cfg.HopJitter > 0 {
+			delay += eventsim.Time(s.src.Uint64n(uint64(s.cfg.HopJitter)))
+		}
+		aq.out.QueryMessages++
+		aq.pending++
+		s.eng.After(delay, func() {
+			aq.pending--
+			s.receive(aq, v, u, ttl-1)
+			s.finalizeIfIdle(aq)
+		})
+	}
+}
+
+// receive handles one query copy arriving at v from u with remaining ttl.
+func (s *Simulator) receive(aq *activeQuery, v, u PeerID, ttl int) {
+	if !s.ov.Online(v) || !s.ov.Connected(u, v) {
+		return // receiver left or the link was cut mid-flight
+	}
+	if _, dup := s.seen[v][aq.out.ID]; dup {
+		aq.out.DupDrops++
+		return
+	}
+	s.seen[v][aq.out.ID] = struct{}{}
+	if !s.takeToken(v) {
+		aq.out.CapacityDrops++
+		return
+	}
+	aq.out.Processed++
+	hops := s.cfg.TTL - ttl
+	if _, holds := aq.holders[v]; holds && !aq.out.Hit {
+		aq.out.Hit = true
+		aq.out.FirstHitHops = hops
+		// QueryHit travels the reverse path: approximate with the same
+		// per-hop delay both ways.
+		respond := s.eng.Now() - aq.out.Issued + eventsim.Time(hops)*s.cfg.HopDelay
+		aq.out.ResponseDelay = respond
+	}
+	s.forward(aq, v, u, ttl)
+}
+
+func (s *Simulator) finalizeIfIdle(aq *activeQuery) {
+	if aq.pending > 0 {
+		return
+	}
+	if _, ok := s.active[aq.out.ID]; !ok {
+		return
+	}
+	delete(s.active, aq.out.ID)
+	s.done = append(s.done, aq.out)
+}
+
+// Run drains the event queue up to the deadline.
+func (s *Simulator) Run(until eventsim.Time) { s.eng.RunUntil(until) }
+
+// Outcomes returns the completed queries in completion order.
+func (s *Simulator) Outcomes() []QueryOutcome { return s.done }
+
+// AttackMode selects how a message-level agent spreads its volume.
+type AttackMode int
+
+// Attack spreading modes (mirroring internal/attack).
+const (
+	// AttackSpray sends each bogus query into a single neighbor
+	// connection, rotating round-robin (distinct streams per neighbor).
+	AttackSpray AttackMode = iota
+	// AttackBroadcast floods each bogus query to every neighbor.
+	AttackBroadcast
+)
+
+// Attack schedules a message-level DDoS agent: from start to stop it
+// issues bogus queries (no holders anywhere) at ratePerMin, each one a
+// real flood competing for the same per-peer tokens as good queries.
+func (s *Simulator) Attack(agent PeerID, start, stop eventsim.Time, ratePerMin float64, mode AttackMode) error {
+	if ratePerMin <= 0 {
+		return fmt.Errorf("msgsim: attack rate %v", ratePerMin)
+	}
+	if stop <= start {
+		return fmt.Errorf("msgsim: attack window [%v, %v)", start, stop)
+	}
+	interval := eventsim.Time(float64(eventsim.Minute) / ratePerMin)
+	if interval < 1 {
+		interval = 1
+	}
+	round := 0
+	var tick func()
+	tick = func() {
+		if s.eng.Now() >= stop || !s.ov.Online(agent) {
+			return
+		}
+		id := s.nextQuery
+		s.nextQuery++
+		aq := &activeQuery{
+			out:     QueryOutcome{ID: id, Issuer: agent, Issued: s.eng.Now(), FirstHitHops: -1},
+			holders: map[PeerID]struct{}{},
+		}
+		s.active[id] = aq
+		s.seen[agent][id] = struct{}{}
+		switch mode {
+		case AttackBroadcast:
+			s.forward(aq, agent, noSender, s.cfg.TTL)
+		case AttackSpray:
+			var nbuf []PeerID
+			nb := s.ov.ActiveNeighbors(agent, nbuf)
+			if len(nb) > 0 {
+				target := nb[round%len(nb)]
+				round++
+				s.forwardTo(aq, agent, target, s.cfg.TTL)
+			}
+		}
+		s.finalizeIfIdle(aq)
+		s.eng.After(interval, tick)
+	}
+	s.eng.At(start, tick)
+	return nil
+}
+
+// forwardTo sends one copy from u to exactly v (the spray entry hop).
+func (s *Simulator) forwardTo(aq *activeQuery, u, v PeerID, ttl int) {
+	if ttl <= 0 {
+		return
+	}
+	delay := s.cfg.HopDelay
+	if s.cfg.HopJitter > 0 {
+		delay += eventsim.Time(s.src.Uint64n(uint64(s.cfg.HopJitter)))
+	}
+	aq.out.QueryMessages++
+	aq.pending++
+	s.eng.After(delay, func() {
+		aq.pending--
+		s.receive(aq, v, u, ttl-1)
+		s.finalizeIfIdle(aq)
+	})
+}

@@ -1,0 +1,361 @@
+package msgsim
+
+import (
+	"math"
+	"testing"
+
+	"ddpolice/internal/eventsim"
+	"ddpolice/internal/flood"
+	"ddpolice/internal/overlay"
+	"ddpolice/internal/rng"
+	"ddpolice/internal/topology"
+)
+
+func lineOverlay(t *testing.T, n int) *overlay.Overlay {
+	t.Helper()
+	b := topology.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		if err := b.AddEdge(topology.NodeID(i), topology.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return overlay.New(b.Build())
+}
+
+func baOverlay(t *testing.T, n int, seed uint64) *overlay.Overlay {
+	t.Helper()
+	g, err := topology.BarabasiAlbert(rng.New(seed), n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return overlay.New(g)
+}
+
+func bigCapacity() Config {
+	cfg := DefaultConfig()
+	cfg.CapacityPerMin = 1e9
+	cfg.Burst = 1e9
+	cfg.HopJitter = 0
+	return cfg
+}
+
+func TestLineFloodBasics(t *testing.T) {
+	ov := lineOverlay(t, 10)
+	cfg := bigCapacity()
+	cfg.TTL = 3
+	s, err := New(ov, cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.IssueAt(0, 0, []topology.NodeID{2})
+	s.Run(eventsim.Minute)
+	out := s.Outcomes()
+	if len(out) != 1 {
+		t.Fatalf("outcomes = %d", len(out))
+	}
+	o := out[0]
+	if o.Processed != 3 || o.QueryMessages != 3 {
+		t.Fatalf("processed=%d messages=%v, want 3/3", o.Processed, o.QueryMessages)
+	}
+	if !o.Hit || o.FirstHitHops != 2 {
+		t.Fatalf("hit=%v hops=%d", o.Hit, o.FirstHitHops)
+	}
+	// 2 hops out at 50 ms plus 2 hops back: 200 ms.
+	if o.ResponseDelay != 200*eventsim.Millisecond {
+		t.Fatalf("response = %v", o.ResponseDelay)
+	}
+}
+
+func TestDuplicateDropsOnTriangle(t *testing.T) {
+	b := topology.NewBuilder(3)
+	for _, e := range [][2]topology.NodeID{{0, 1}, {1, 2}, {0, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ov := overlay.New(b.Build())
+	s, err := New(ov, bigCapacity(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.IssueAt(0, 0, nil)
+	s.Run(eventsim.Minute)
+	o := s.Outcomes()[0]
+	if o.Processed != 2 || o.DupDrops != 2 || o.QueryMessages != 4 {
+		t.Fatalf("processed=%d dups=%d messages=%v", o.Processed, o.DupDrops, o.QueryMessages)
+	}
+}
+
+func TestCapacityDropsBlockQuery(t *testing.T) {
+	ov := lineOverlay(t, 5)
+	cfg := bigCapacity()
+	cfg.TTL = 4
+	s, err := New(ov, cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust peer 2's tokens before the flood reaches it.
+	s.tokens[2] = 0
+	s.cfg.CapacityPerMin = 1e-9 // effectively no refill
+	s.IssueAt(0, 0, []topology.NodeID{4})
+	s.Run(eventsim.Minute)
+	o := s.Outcomes()[0]
+	if o.Hit {
+		t.Fatal("query crossed a saturated peer")
+	}
+	if o.CapacityDrops == 0 {
+		t.Fatal("no capacity drop recorded")
+	}
+}
+
+func TestOfflineIssuerFinalizes(t *testing.T) {
+	ov := lineOverlay(t, 3)
+	ov.SetOnline(0, false)
+	s, err := New(ov, bigCapacity(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.IssueAt(0, 0, nil)
+	s.Run(eventsim.Minute)
+	if len(s.Outcomes()) != 1 {
+		t.Fatal("offline issuance did not finalize")
+	}
+	if s.Outcomes()[0].QueryMessages != 0 {
+		t.Fatal("offline issuer sent messages")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ov := lineOverlay(t, 3)
+	cfg := DefaultConfig()
+	cfg.CapacityPerMin = 0
+	if _, err := New(ov, cfg, rng.New(1)); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.TTL = 0
+	if _, err := New(ov, cfg, rng.New(1)); err == nil {
+		t.Error("zero TTL accepted")
+	}
+}
+
+// TestSimCrossValidation: on an uncongested overlay the message-level
+// simulator and the aggregate flood engine must agree exactly on
+// reach, message counts, duplicate counts, success, and hop distances.
+func TestSimCrossValidation(t *testing.T) {
+	ov := baOverlay(t, 200, 5)
+	eng := flood.NewEngine(ov)
+	budget := flood.NewBudget(200, 1e9)
+	cfg := bigCapacity()
+	cfg.TTL = 3
+	cat := []topology.NodeID{42, 77, 130}
+	for issuer := PeerID(0); issuer < 20; issuer++ {
+		agg := eng.FloodQuery(issuer, 3, cat, budget, flood.DelayModel{HopDelay: 0.05})
+		s, err := New(ov, cfg, rng.New(uint64(issuer)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.IssueAt(0, issuer, cat)
+		s.Run(10 * eventsim.Minute)
+		o := s.Outcomes()[0]
+		if o.Processed != agg.Processed {
+			t.Errorf("issuer %d: processed %d (msg) vs %d (agg)", issuer, o.Processed, agg.Processed)
+		}
+		if o.QueryMessages != agg.QueryMessages {
+			t.Errorf("issuer %d: messages %v vs %v", issuer, o.QueryMessages, agg.QueryMessages)
+		}
+		if float64(o.DupDrops) != agg.DupMessages {
+			t.Errorf("issuer %d: dups %d vs %v", issuer, o.DupDrops, agg.DupMessages)
+		}
+		if o.Hit != agg.Hit {
+			t.Errorf("issuer %d: hit %v vs %v", issuer, o.Hit, agg.Hit)
+		}
+		if o.Hit && o.FirstHitHops != agg.FirstHitHops {
+			t.Errorf("issuer %d: hops %d vs %d", issuer, o.FirstHitHops, agg.FirstHitHops)
+		}
+	}
+}
+
+// TestCrossValidationUnderLoad: with finite capacity, total processed
+// counts across many queries must be in the same ballpark in both
+// models (they differ in tie-breaking, not in physics).
+func TestCrossValidationUnderLoad(t *testing.T) {
+	const n = 200
+	const queries = 120
+	const capacityPerMin = 120
+
+	// Aggregate model: queries spread over 60 ticks.
+	ovA := baOverlay(t, n, 9)
+	eng := flood.NewEngine(ovA)
+	budget := flood.NewBudget(n, capacityPerMin/60)
+	src := rng.New(10)
+	var aggProcessed, aggHits int
+	for tick := 0; tick < 60; tick++ {
+		budget.Refill()
+		for i := 0; i < queries/60; i++ {
+			issuer := PeerID(src.Intn(n))
+			r := eng.FloodQuery(issuer, 3, []topology.NodeID{5, 50, 150}, budget, flood.DefaultDelayModel())
+			aggProcessed += r.Processed
+			if r.Hit {
+				aggHits++
+			}
+		}
+	}
+
+	// Message-level model: same issuance schedule.
+	ovM := baOverlay(t, n, 9)
+	cfg := DefaultConfig()
+	cfg.CapacityPerMin = capacityPerMin
+	cfg.TTL = 3
+	s, err := New(ovM, cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = rng.New(10)
+	for tick := 0; tick < 60; tick++ {
+		for i := 0; i < queries/60; i++ {
+			issuer := PeerID(src.Intn(n))
+			s.IssueAt(eventsim.Time(tick)*eventsim.Second, issuer, []topology.NodeID{5, 50, 150})
+		}
+	}
+	s.Run(5 * eventsim.Minute)
+	var msgProcessed, msgHits int
+	for _, o := range s.Outcomes() {
+		msgProcessed += o.Processed
+		if o.Hit {
+			msgHits++
+		}
+	}
+	if len(s.Outcomes()) != queries {
+		t.Fatalf("completed %d of %d queries", len(s.Outcomes()), queries)
+	}
+	ratio := float64(msgProcessed) / float64(aggProcessed)
+	if math.Abs(ratio-1) > 0.25 {
+		t.Errorf("processed counts diverge: msg=%d agg=%d (ratio %.2f)", msgProcessed, aggProcessed, ratio)
+	}
+	hitRatio := float64(msgHits+1) / float64(aggHits+1)
+	if hitRatio < 0.6 || hitRatio > 1.67 {
+		t.Errorf("hits diverge: msg=%d agg=%d", msgHits, aggHits)
+	}
+}
+
+func TestChurnMidFlight(t *testing.T) {
+	// A peer leaving mid-flight must not panic the simulator; in-flight
+	// copies addressed to it are dropped.
+	ov := lineOverlay(t, 5)
+	s, err := New(ov, bigCapacity(), rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.IssueAt(0, 0, []topology.NodeID{4})
+	s.Engine().At(25*eventsim.Millisecond, func() { ov.SetOnline(2, false) })
+	s.Run(eventsim.Minute)
+	if len(s.Outcomes()) != 1 {
+		t.Fatal("query never finalized")
+	}
+	if s.Outcomes()[0].Hit {
+		t.Fatal("query crossed a departed peer")
+	}
+}
+
+func BenchmarkSimVsDES(b *testing.B) {
+	g, err := topology.BarabasiAlbert(rng.New(1), 200, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("aggregate", func(b *testing.B) {
+		ov := overlay.New(g)
+		eng := flood.NewEngine(ov)
+		budget := flood.NewBudget(200, 1e9)
+		for i := 0; i < b.N; i++ {
+			eng.FloodQuery(PeerID(i%200), 3, nil, budget, flood.DefaultDelayModel())
+		}
+	})
+	b.Run("message-level", func(b *testing.B) {
+		ov := overlay.New(g)
+		s, err := New(ov, bigCapacity(), rng.New(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			s.IssueAt(s.Engine().Now(), PeerID(i%200), nil)
+			s.Run(s.Engine().Now() + eventsim.Minute)
+		}
+	})
+}
+
+// TestAttackDegradesDES: the message-level simulator reproduces the
+// core phenomenon independently of the aggregate model — an agent's
+// bogus floods consume tokens and good queries start failing.
+func TestAttackDegradesDES(t *testing.T) {
+	run := func(attack bool) (hits int) {
+		ov := baOverlay(t, 120, 21)
+		cfg := DefaultConfig()
+		cfg.CapacityPerMin = 300
+		cfg.TTL = 3
+		cfg.HopJitter = 0
+		s, err := New(ov, cfg, rng.New(22))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attack {
+			if err := s.Attack(7, 0, 2*eventsim.Minute, 3000, AttackSpray); err != nil {
+				t.Fatal(err)
+			}
+		}
+		holders := []topology.NodeID{30, 60, 90}
+		issuers := rng.New(23)
+		for i := 0; i < 60; i++ {
+			at := eventsim.Time(i) * 2 * eventsim.Second
+			s.IssueAt(at, PeerID(issuers.Intn(120)), holders)
+		}
+		s.Run(5 * eventsim.Minute)
+		for _, o := range s.Outcomes() {
+			if o.Issuer != 7 && o.Hit {
+				hits++
+			}
+		}
+		return hits
+	}
+	clean, attacked := run(false), run(true)
+	if clean == 0 {
+		t.Fatal("no hits even without attack")
+	}
+	if attacked >= clean {
+		t.Fatalf("attack did not reduce hits: %d vs %d", attacked, clean)
+	}
+}
+
+func TestAttackValidation(t *testing.T) {
+	ov := lineOverlay(t, 3)
+	s, err := New(ov, bigCapacity(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attack(0, 0, eventsim.Minute, 0, AttackSpray); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := s.Attack(0, eventsim.Minute, 0, 100, AttackSpray); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestAttackBroadcastMode(t *testing.T) {
+	ov := lineOverlay(t, 4)
+	s, err := New(ov, bigCapacity(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attack(0, 0, eventsim.Second, 600, AttackBroadcast); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(eventsim.Minute)
+	// 600/min for 1s => ~10 bogus queries, each flooding the line.
+	var msgs float64
+	for _, o := range s.Outcomes() {
+		msgs += o.QueryMessages
+	}
+	if msgs < 10 {
+		t.Fatalf("broadcast attack produced %v messages", msgs)
+	}
+}

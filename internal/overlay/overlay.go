@@ -1,0 +1,262 @@
+// Package overlay maintains the dynamic state of the unstructured P2P
+// overlay on top of a static logical topology: which peers are online
+// (the paper "simulates the joining and leaving behavior of peers via
+// turning on/off logical peers"), which logical connections have been
+// cut by DD-POLICE, and the per-directed-edge per-minute query counters
+// Q_{i->h}(t) that Definitions 2.1-2.3 are computed from.
+package overlay
+
+import (
+	"fmt"
+
+	"ddpolice/internal/topology"
+)
+
+// PeerID identifies a peer; it equals the topology.NodeID of the
+// underlying static graph.
+type PeerID = topology.NodeID
+
+// EdgeID indexes a *directed* logical edge (u -> k-th neighbor of u).
+type EdgeID int32
+
+// Overlay is the mutable overlay state. It is not safe for concurrent
+// mutation; each simulation replica owns one Overlay.
+type Overlay struct {
+	g        *topology.Graph
+	online   []bool
+	edgeBase []EdgeID // edgeBase[v] + k = directed edge id of v -> adj[v][k]
+	reverse  []EdgeID // reverse[e] = id of the opposite direction
+	slot     []int32  // slot[e] = k such that e is (u -> adj[u][k]); for lookups
+	cut      []bool   // per directed edge, symmetric
+	curQ     []float64
+	prevQ    []float64
+	numEdges int
+}
+
+// New creates an overlay over g with every peer online and no cuts.
+func New(g *topology.Graph) *Overlay {
+	n := g.NumNodes()
+	o := &Overlay{g: g, online: make([]bool, n), edgeBase: make([]EdgeID, n+1)}
+	var total EdgeID
+	for v := 0; v < n; v++ {
+		o.online[v] = true
+		o.edgeBase[v] = total
+		total += EdgeID(g.Degree(PeerID(v)))
+	}
+	o.edgeBase[n] = total
+	o.numEdges = int(total)
+	o.reverse = make([]EdgeID, total)
+	o.slot = make([]int32, total)
+	o.cut = make([]bool, total)
+	o.curQ = make([]float64, total)
+	o.prevQ = make([]float64, total)
+	for v := 0; v < n; v++ {
+		for k, w := range g.Neighbors(PeerID(v)) {
+			e := o.edgeBase[v] + EdgeID(k)
+			o.slot[e] = int32(k)
+			re, ok := o.lookupEdge(w, PeerID(v))
+			if !ok {
+				panic("overlay: asymmetric adjacency")
+			}
+			o.reverse[e] = re
+		}
+	}
+	return o
+}
+
+// lookupEdge finds the directed edge u->w by scanning u's (sorted)
+// neighbor list with binary search.
+func (o *Overlay) lookupEdge(u, w PeerID) (EdgeID, bool) {
+	ns := o.g.Neighbors(u)
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ns) && ns[lo] == w {
+		return o.edgeBase[u] + EdgeID(lo), true
+	}
+	return 0, false
+}
+
+// Graph returns the static logical topology.
+func (o *Overlay) Graph() *topology.Graph { return o.g }
+
+// NumPeers returns the total number of logical peers.
+func (o *Overlay) NumPeers() int { return o.g.NumNodes() }
+
+// NumDirectedEdges returns the number of directed logical edges.
+func (o *Overlay) NumDirectedEdges() int { return o.numEdges }
+
+// Online reports whether v is currently in the system.
+func (o *Overlay) Online(v PeerID) bool { return o.online[v] }
+
+// OnlineCount returns the number of online peers.
+func (o *Overlay) OnlineCount() int {
+	c := 0
+	for _, on := range o.online {
+		if on {
+			c++
+		}
+	}
+	return c
+}
+
+// SetOnline toggles peer v. Transitioning in either direction clears
+// all cuts and traffic counters on v's edges: a leaving peer tears its
+// connections down, and a (re)joining peer establishes fresh
+// connections — which is also how a disconnected DDoS agent "joins the
+// system again and launches another round of attacks" (§3.7.2).
+func (o *Overlay) SetOnline(v PeerID, on bool) {
+	if o.online[v] == on {
+		return
+	}
+	o.online[v] = on
+	for k := range o.g.Neighbors(v) {
+		e := o.edgeBase[v] + EdgeID(k)
+		re := o.reverse[e]
+		o.cut[e] = false
+		o.cut[re] = false
+		o.curQ[e], o.prevQ[e] = 0, 0
+		o.curQ[re], o.prevQ[re] = 0, 0
+	}
+}
+
+// EdgeID returns the directed edge id for u's k-th static neighbor.
+func (o *Overlay) EdgeID(u PeerID, k int) EdgeID { return o.edgeBase[u] + EdgeID(k) }
+
+// Reverse returns the opposite-direction edge id.
+func (o *Overlay) Reverse(e EdgeID) EdgeID { return o.reverse[e] }
+
+// Endpoints returns (from, to) for a directed edge id.
+func (o *Overlay) Endpoints(e EdgeID) (from, to PeerID) {
+	// Binary search edgeBase for the owner.
+	lo, hi := 0, len(o.edgeBase)-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if o.edgeBase[mid] <= e {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	from = PeerID(lo)
+	return from, o.g.Neighbors(from)[o.slot[e]]
+}
+
+// FindEdge returns the directed edge id u->w, if {u,w} is a logical edge.
+func (o *Overlay) FindEdge(u, w PeerID) (EdgeID, bool) { return o.lookupEdge(u, w) }
+
+// Connected reports whether the logical edge {u,w} exists, both ends
+// are online, and the edge has not been cut.
+func (o *Overlay) Connected(u, w PeerID) bool {
+	if !o.online[u] || !o.online[w] {
+		return false
+	}
+	e, ok := o.lookupEdge(u, w)
+	return ok && !o.cut[e]
+}
+
+// ActiveNeighbors appends to buf the currently reachable neighbors of v
+// (online, edge not cut) and returns the extended slice. buf may be nil.
+func (o *Overlay) ActiveNeighbors(v PeerID, buf []PeerID) []PeerID {
+	if !o.online[v] {
+		return buf
+	}
+	base := o.edgeBase[v]
+	for k, w := range o.g.Neighbors(v) {
+		if o.online[w] && !o.cut[base+EdgeID(k)] {
+			buf = append(buf, w)
+		}
+	}
+	return buf
+}
+
+// ActiveDegree returns the number of active neighbors of v.
+func (o *Overlay) ActiveDegree(v PeerID) int {
+	if !o.online[v] {
+		return 0
+	}
+	base := o.edgeBase[v]
+	d := 0
+	for k, w := range o.g.Neighbors(v) {
+		if o.online[w] && !o.cut[base+EdgeID(k)] {
+			d++
+		}
+	}
+	return d
+}
+
+// Cut severs the logical connection {u,w} in both directions. It
+// returns an error if the edge does not exist.
+func (o *Overlay) Cut(u, w PeerID) error {
+	e, ok := o.lookupEdge(u, w)
+	if !ok {
+		return fmt.Errorf("overlay: cut of non-edge (%d,%d)", u, w)
+	}
+	o.cut[e] = true
+	o.cut[o.reverse[e]] = true
+	return nil
+}
+
+// IsCut reports whether the logical edge {u,w} has been severed.
+func (o *Overlay) IsCut(u, w PeerID) bool {
+	e, ok := o.lookupEdge(u, w)
+	return ok && o.cut[e]
+}
+
+// CutCount returns the number of undirected edges currently cut.
+func (o *Overlay) CutCount() int {
+	c := 0
+	for _, b := range o.cut {
+		if b {
+			c++
+		}
+	}
+	return c / 2
+}
+
+// AddTraffic records amount queries flowing over directed edge e in the
+// current minute window. Fractional amounts arise from attacker batch
+// floods.
+func (o *Overlay) AddTraffic(e EdgeID, amount float64) { o.curQ[e] += amount }
+
+// AddTrafficBetween records traffic on the directed edge u->w; it is a
+// convenience for tests and the message-level simulator.
+func (o *Overlay) AddTrafficBetween(u, w PeerID, amount float64) error {
+	e, ok := o.lookupEdge(u, w)
+	if !ok {
+		return fmt.Errorf("overlay: traffic on non-edge (%d,%d)", u, w)
+	}
+	o.curQ[e] += amount
+	return nil
+}
+
+// RollMinute closes the current per-minute counter window: current
+// counts become the "past one minute" values that Neighbor_Traffic
+// messages report, and the current window resets.
+func (o *Overlay) RollMinute() {
+	o.prevQ, o.curQ = o.curQ, o.prevQ
+	for i := range o.curQ {
+		o.curQ[i] = 0
+	}
+}
+
+// LastMinute returns Q_{u->w} for the most recently closed minute.
+func (o *Overlay) LastMinute(u, w PeerID) float64 {
+	e, ok := o.lookupEdge(u, w)
+	if !ok {
+		return 0
+	}
+	return o.prevQ[e]
+}
+
+// LastMinuteEdge returns the closed-minute count for a directed edge id.
+func (o *Overlay) LastMinuteEdge(e EdgeID) float64 { return o.prevQ[e] }
+
+// CurrentMinuteEdge returns the accumulating count for a directed edge.
+func (o *Overlay) CurrentMinuteEdge(e EdgeID) float64 { return o.curQ[e] }

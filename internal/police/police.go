@@ -1,0 +1,310 @@
+// Package police implements DD-POLICE, the paper's defense: peers
+// police their neighbors' query behaviour by cooperating with each
+// suspect's Buddy Group (its other direct neighbors), exchanging
+// Neighbor_Traffic query-volume reports, computing the General and
+// Single indicators of Definitions 2.1-2.3, and disconnecting peers
+// whose indicator exceeds the cut threshold CT.
+//
+// The three protocol steps of §3:
+//
+//  1. Neighbor list exchanging — periodic (every ExchangePeriod, the
+//     paper settles on 2 minutes) or event-driven; received lists form
+//     each peer's view of its neighbors' Buddy Groups.
+//  2. Neighbor query traffic monitoring — per-minute Out_query/In_query
+//     counters per logical neighbor (held by internal/overlay).
+//  3. Bad peer recognition — when In_query(j) exceeds the warning
+//     threshold (500/min), the observer collects Neighbor_Traffic
+//     reports from BG1-j, computes g(j,t) and s(j,t,i), and cuts the
+//     connection when either exceeds CT.
+package police
+
+import (
+	"fmt"
+
+	"ddpolice/internal/overlay"
+	"ddpolice/internal/rng"
+)
+
+// PeerID aliases the overlay peer identifier.
+type PeerID = overlay.PeerID
+
+// Config holds the DD-POLICE protocol parameters.
+type Config struct {
+	// Q0 is the good-peer issuing bound q (queries/min); Definition 2.1
+	// sets q = 100.
+	Q0 float64
+	// WarnThreshold marks a neighbor suspicious when it sends more than
+	// this many queries in a minute (§3.3 example: 500).
+	WarnThreshold float64
+	// CutThreshold is CT: disconnect when g or s exceeds it.
+	CutThreshold float64
+	// ExchangePeriod is the neighbor-list exchange interval in seconds
+	// (periodic policy; paper uses 120).
+	ExchangePeriod float64
+	// EventDriven switches to the event-driven exchange policy: lists
+	// are pushed whenever a neighbor joins or leaves.
+	EventDriven bool
+	// ReportRateLimit is the Neighbor_Traffic per-member resend
+	// suppression window in seconds (paper: 50).
+	ReportRateLimit float64
+	// StaleAfter discards advertised lists older than this many
+	// seconds; 0 disables expiry.
+	StaleAfter float64
+	// VerifyLists enables the §3.1 consistency check: claims in a
+	// received list are confirmed with the claimed peers, and liars are
+	// disconnected.
+	VerifyLists bool
+	// Radius is r in DD-POLICE-r. r=1 (the paper's focus) uses direct
+	// neighbor lists only; r=2 additionally propagates lists one hop
+	// further, making buddy-group views resilient to a missed exchange.
+	Radius int
+	// BlacklistSec is a future-work extension (§5: "No mechanism can
+	// prevent the DDoS Agent from joining the system again"): an
+	// observer that disconnected a suspect refuses to serve it again
+	// for this many seconds, cutting re-established connections
+	// immediately. 0 disables the blacklist (the paper's behaviour).
+	BlacklistSec float64
+}
+
+// DefaultConfig returns the paper's operating point: q0=100, warn=500,
+// CT=5, 2-minute periodic exchange, 50 s rate limit, r=1.
+func DefaultConfig() Config {
+	return Config{
+		Q0:              100,
+		WarnThreshold:   500,
+		CutThreshold:    5,
+		ExchangePeriod:  120,
+		ReportRateLimit: 50,
+		StaleAfter:      600,
+		Radius:          1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Q0 <= 0 {
+		return fmt.Errorf("police: Q0 = %v", c.Q0)
+	}
+	if c.WarnThreshold <= 0 {
+		return fmt.Errorf("police: WarnThreshold = %v", c.WarnThreshold)
+	}
+	if c.CutThreshold <= 0 {
+		return fmt.Errorf("police: CutThreshold = %v", c.CutThreshold)
+	}
+	if !c.EventDriven && c.ExchangePeriod <= 0 {
+		return fmt.Errorf("police: ExchangePeriod = %v", c.ExchangePeriod)
+	}
+	if c.Radius < 1 || c.Radius > 2 {
+		return fmt.Errorf("police: Radius = %d (supported: 1, 2)", c.Radius)
+	}
+	return nil
+}
+
+// CheatStrategy models how a malicious peer answers Neighbor_Traffic
+// requests about one of its neighbors (§3.4's three choices).
+type CheatStrategy int
+
+// Cheating strategies for Neighbor_Traffic reporting.
+const (
+	// CheatNone: report truthfully (the paper argues this is the
+	// attacker's rational choice).
+	CheatNone CheatStrategy = iota
+	// CheatInflate: report a larger outgoing count than real (Case 1 —
+	// helps the accused good peer, pointless for the attacker).
+	CheatInflate
+	// CheatDeflate: report a smaller outgoing count (Case 2 — frames
+	// the good neighbor as the query source).
+	CheatDeflate
+	// CheatSilent: refuse to report (treated as zero by the collector,
+	// same effect as Case 2).
+	CheatSilent
+)
+
+// Overhead tallies DD-POLICE control traffic (message counts).
+type Overhead struct {
+	NeighborListMsgs    uint64 // periodic + event-driven list pushes
+	NeighborTrafficMsgs uint64 // Table 1 reports exchanged in BGs
+	VerifyMsgs          uint64 // list consistency confirmations
+}
+
+// Total returns the total control message count.
+func (o Overhead) Total() uint64 {
+	return o.NeighborListMsgs + o.NeighborTrafficMsgs + o.VerifyMsgs
+}
+
+// EstimatedBytes converts the message counts into wire bytes using the
+// protocol's frame sizes: every message carries the 23-byte unified
+// header; a Neighbor_Traffic body is the fixed 20 bytes of Table 1; a
+// neighbor list averages 2 + 6*avgDegree bytes; a verification probe is
+// approximated as a Ping/Pong pair.
+func (o Overhead) EstimatedBytes(avgDegree float64) uint64 {
+	const header = 23
+	listBody := 2 + 6*avgDegree
+	ntBody := 20.0
+	pingPong := 2*header + 14.0
+	total := float64(o.NeighborListMsgs)*(header+listBody) +
+		float64(o.NeighborTrafficMsgs)*(header+ntBody) +
+		float64(o.VerifyMsgs)*pingPong
+	return uint64(total)
+}
+
+// Detection records one disconnect decision.
+type Detection struct {
+	At       float64 // seconds
+	Observer PeerID
+	Suspect  PeerID
+	General  float64 // g(j,t) at decision time
+	Single   float64 // s(j,t,i) at decision time
+}
+
+// advertised is a neighbor list received from a peer.
+type advertised struct {
+	at      float64
+	members []PeerID
+}
+
+// peerState is the per-peer DD-POLICE bookkeeping.
+type peerState struct {
+	lists        map[PeerID]advertised // owner -> owner's advertised neighbor list
+	lastReport   map[PeerID]float64    // suspect -> last Neighbor_Traffic sent
+	nextExchange float64
+}
+
+// Police drives the protocol over one overlay. Not safe for concurrent
+// use; each simulation replica owns one instance.
+type Police struct {
+	cfg    Config
+	ov     *overlay.Overlay
+	states []peerState
+	cheat  []CheatStrategy
+	isBad  []bool
+	liar   []bool // advertises fabricated neighbor-list entries
+
+	detections []Detection
+	overhead   Overhead
+	cutGood    map[PeerID]bool // good peers cut at least once (false negatives)
+	detected   map[PeerID]bool // bad peers detected at least once
+
+	lossProb float64
+	lossSrc  *rng.Source
+
+	// blacklist[observer][suspect] = expiry time (BlacklistSec > 0).
+	blacklist []map[PeerID]float64
+}
+
+// New creates a DD-POLICE instance over ov. Exchange phases are
+// staggered per peer so the control traffic spreads over the period.
+func New(ov *overlay.Overlay, cfg Config) (*Police, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := ov.NumPeers()
+	p := &Police{
+		cfg:      cfg,
+		ov:       ov,
+		states:   make([]peerState, n),
+		cheat:    make([]CheatStrategy, n),
+		isBad:    make([]bool, n),
+		liar:     make([]bool, n),
+		cutGood:  make(map[PeerID]bool),
+		detected: make(map[PeerID]bool),
+	}
+	for i := range p.states {
+		p.states[i] = peerState{
+			lists:      make(map[PeerID]advertised),
+			lastReport: make(map[PeerID]float64),
+		}
+		if !cfg.EventDriven {
+			// Deterministic stagger: spread phases across the period.
+			p.states[i].nextExchange = cfg.ExchangePeriod * float64(i) / float64(n)
+		}
+	}
+	if cfg.BlacklistSec > 0 {
+		p.blacklist = make([]map[PeerID]float64, n)
+	}
+	return p, nil
+}
+
+// SetBad marks peer v as a DDoS agent with the given reporting
+// strategy. Ground truth is used only for error accounting; the
+// protocol itself never reads it.
+func (p *Police) SetBad(v PeerID, cheat CheatStrategy) {
+	p.isBad[v] = true
+	p.cheat[v] = cheat
+}
+
+// SetListLiar makes v advertise a fabricated neighbor list (tested by
+// the VerifyLists consistency check).
+func (p *Police) SetListLiar(v PeerID) { p.liar[v] = true }
+
+// Detections returns all disconnect decisions so far.
+func (p *Police) Detections() []Detection { return p.detections }
+
+// Overhead returns control-traffic counters.
+func (p *Police) Overhead() Overhead { return p.overhead }
+
+// FalseNegatives returns the number of distinct good peers wrongly
+// disconnected (the paper's "false negative").
+func (p *Police) FalseNegatives() int { return len(p.cutGood) }
+
+// DetectedBad returns the number of distinct bad peers disconnected at
+// least once.
+func (p *Police) DetectedBad() int { return len(p.detected) }
+
+// FalsePositives returns the number of bad peers among the given agent
+// set that were never identified (the paper's "false positive").
+func (p *Police) FalsePositives(agents []PeerID) int {
+	missed := 0
+	for _, a := range agents {
+		if !p.detected[a] {
+			missed++
+		}
+	}
+	return missed
+}
+
+// Report is one Neighbor_Traffic data point about a suspect: what the
+// reporting member sent to the suspect (Out = Q_{m->j}) and received
+// from it (In = Q_{j->m}) in the last closed minute.
+type Report struct {
+	Out float64
+	In  float64
+}
+
+// ComputeIndicators evaluates Definitions 2.1 and 2.2 from collected
+// reports. own is the observer's direct measurement of the suspect's
+// edge; others are the remaining buddy-group members' reports (missing
+// reports are simply absent — the caller decides whether a member that
+// never answered still counts toward k via missingMembers).
+func ComputeIndicators(q0 float64, own Report, others []Report, missingMembers int) (g, s float64, k int) {
+	k = 1 + len(others) + missingMembers
+	sumToSuspect := own.Out  // Σ_m Q_{m->j}
+	sumFromSuspect := own.In // Σ_m Q_{j->m}
+	othersToSuspect := 0.0   // Σ_{m≠i} Q_{m->j}
+	for _, r := range others {
+		sumToSuspect += r.Out
+		sumFromSuspect += r.In
+		othersToSuspect += r.Out
+	}
+	g = (sumFromSuspect - float64(k-1)*sumToSuspect) / (float64(k) * q0)
+	s = (own.In - othersToSuspect) / q0
+	return g, s, k
+}
+
+// SetControlLoss sets the probability that an individual control
+// message (neighbor-list push or Neighbor_Traffic report) is lost in
+// transit, drawn from src. The simulator derives this from current
+// network congestion: DD-POLICE's own messages ride the same saturated
+// overlay links as the attack traffic. A nil src disables loss.
+func (p *Police) SetControlLoss(prob float64, src *rng.Source) {
+	p.lossProb = prob
+	p.lossSrc = src
+}
+
+// lost reports whether one control message should be dropped.
+func (p *Police) lost() bool {
+	return p.lossSrc != nil && p.lossProb > 0 && p.lossSrc.Bool(p.lossProb)
+}
+
+// IsBad reports ground truth for peer v (error accounting only).
+func (p *Police) IsBad(v PeerID) bool { return p.isBad[v] }

@@ -1,0 +1,315 @@
+package police
+
+// This file implements the protocol mechanics: list exchange (step 1),
+// report collection and indicator evaluation (step 3). Step 2 — the
+// per-minute Out_query/In_query counters — lives in internal/overlay
+// and is read here via LastMinute.
+
+// Tick runs time-driven protocol work for the second ending at now
+// (seconds). In periodic mode it fires due neighbor-list exchanges.
+func (p *Police) Tick(now float64) {
+	if p.cfg.EventDriven {
+		return
+	}
+	for v := range p.states {
+		st := &p.states[v]
+		if now < st.nextExchange {
+			continue
+		}
+		st.nextExchange += p.cfg.ExchangePeriod
+		if p.ov.Online(PeerID(v)) {
+			p.exchangeFrom(PeerID(v), now)
+		}
+	}
+}
+
+// NotifyJoin must be called when peer v comes online. The joining peer
+// performs its first neighbor-list exchange immediately ("a joining
+// peer creates its BG membership after its first neighbor list
+// exchanging operation"), and in event-driven mode its neighbors push
+// updates too.
+func (p *Police) NotifyJoin(v PeerID, now float64) {
+	p.states[v].lists = make(map[PeerID]advertised)
+	p.states[v].lastReport = make(map[PeerID]float64)
+	p.exchangeFrom(v, now)
+	// The new peer also learns its neighbors' lists right away (the
+	// exchange is mutual on connect).
+	var buf []PeerID
+	for _, w := range p.ov.ActiveNeighbors(v, buf) {
+		p.sendList(w, v, now)
+	}
+	if p.cfg.EventDriven {
+		for _, w := range p.ov.ActiveNeighbors(v, nil) {
+			p.exchangeFrom(w, now)
+		}
+	}
+}
+
+// NotifyLeave must be called when peer v goes offline. In event-driven
+// mode the departed peer's neighbors push updated lists.
+func (p *Police) NotifyLeave(v PeerID, now float64) {
+	if p.cfg.EventDriven {
+		for _, w := range p.ov.Graph().Neighbors(v) {
+			if p.ov.Online(w) {
+				p.exchangeFrom(w, now)
+			}
+		}
+	}
+}
+
+// exchangeFrom makes peer v push its neighbor list to all its active
+// neighbors (and, for Radius 2, relay the lists it holds one hop on).
+func (p *Police) exchangeFrom(v PeerID, now float64) {
+	var nbuf []PeerID
+	neighbors := p.ov.ActiveNeighbors(v, nbuf)
+	for _, w := range neighbors {
+		p.sendList(v, w, now)
+		if p.cfg.Radius >= 2 {
+			// DD-POLICE-r, r=2: v relays the freshest lists it holds so
+			// w can build buddy groups for peers two hops away.
+			for owner, adv := range p.states[v].lists {
+				if owner == w {
+					continue
+				}
+				p.overhead.NeighborListMsgs++
+				p.storeList(w, owner, adv.members, adv.at)
+			}
+		}
+	}
+}
+
+// sendList delivers v's own current neighbor list to receiver w.
+func (p *Police) sendList(v, w PeerID, now float64) {
+	members := p.ov.ActiveNeighbors(v, nil)
+	if p.liar[v] {
+		// A lying peer pads its list with fabricated claims: peers it
+		// is not actually connected to.
+		fakes := 0
+		for fake := PeerID(0); fake < PeerID(p.ov.NumPeers()) && fakes < 4; fake++ {
+			if fake != v && fake != w && !p.ov.Connected(v, fake) {
+				members = append(members, fake)
+				fakes++
+			}
+		}
+	}
+	p.overhead.NeighborListMsgs++
+	if p.lost() {
+		return // the push never reached w
+	}
+	if p.cfg.VerifyLists {
+		p.verifyList(w, v, members, now)
+	}
+	p.storeList(w, v, members, now)
+}
+
+// storeList records at receiver the advertised list of owner.
+func (p *Police) storeList(receiver, owner PeerID, members []PeerID, at float64) {
+	st := &p.states[receiver]
+	if prev, ok := st.lists[owner]; ok && prev.at > at {
+		return // keep the fresher list
+	}
+	cp := make([]PeerID, len(members))
+	copy(cp, members)
+	st.lists[owner] = advertised{at: at, members: cp}
+}
+
+// verifyList performs the §3.1 consistency check at the receiver: each
+// claimed neighbor is confirmed with the corresponding peer. "If a peer
+// finds out that the claim of a pair of neighboring peers are not
+// consistent, it will disconnect with the one which is its neighbor."
+func (p *Police) verifyList(receiver, owner PeerID, members []PeerID, now float64) {
+	for _, claimed := range members {
+		p.overhead.VerifyMsgs++
+		if claimed == receiver {
+			continue // the receiver can check its own edge directly
+		}
+		if !p.ov.Connected(owner, claimed) {
+			if p.ov.Connected(receiver, owner) {
+				_ = p.ov.Cut(receiver, owner)
+				p.recordCut(receiver, owner, 0, 0, now)
+			}
+			return
+		}
+	}
+}
+
+// membersOf returns the observer's view of suspect j's buddy group
+// BG1-j (excluding the observer itself), based on the advertised list
+// it holds, filtered for staleness.
+func (p *Police) membersOf(observer, suspect PeerID, now float64) []PeerID {
+	adv, ok := p.states[observer].lists[suspect]
+	if !ok {
+		return nil
+	}
+	if p.cfg.StaleAfter > 0 && now-adv.at > p.cfg.StaleAfter {
+		return nil
+	}
+	out := make([]PeerID, 0, len(adv.members))
+	for _, m := range adv.members {
+		if m != observer {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// report produces member m's Neighbor_Traffic answer about suspect j:
+// (Out = Q_{m->j}, In = Q_{j->m}) for the last closed minute. ok is
+// false when no report arrives (member offline, edge gone, or the
+// member stonewalls) — the collector then assumes zero, exactly as the
+// paper prescribes for silent peers.
+func (p *Police) report(m, suspect PeerID, now float64) (out, in float64, ok bool) {
+	// The member must be online and must actually be a logical neighbor
+	// of the suspect. A cut edge does not silence the report: the
+	// counters describe the minute that already elapsed, during which
+	// the member observed the suspect directly.
+	if !p.ov.Online(m) || !p.ov.Online(suspect) {
+		return 0, 0, false
+	}
+	if _, isEdge := p.ov.FindEdge(m, suspect); !isEdge {
+		return 0, 0, false
+	}
+	if p.lost() {
+		return 0, 0, false // report lost on a congested link
+	}
+	out = p.ov.LastMinute(m, suspect)
+	in = p.ov.LastMinute(suspect, m)
+	if p.isBad[m] {
+		switch p.cheat[m] {
+		case CheatSilent:
+			return 0, 0, false
+		case CheatDeflate:
+			// Case 2: under-report what the cheater sent to the suspect
+			// so the suspect appears to have generated the traffic.
+			out = 0
+		case CheatInflate:
+			// Case 1: over-report.
+			out *= 10
+		}
+	}
+	p.overhead.NeighborTrafficMsgs++
+	return out, in, true
+}
+
+// Indicators computes g(j,t) and s(j,t,i) as seen by the observer,
+// along with the buddy-group size k used. It returns ok=false when the
+// observer has no usable buddy-group view for the suspect (decision
+// must be deferred).
+func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64, k int, ok bool) {
+	members := p.membersOf(observer, suspect, now)
+	if members == nil {
+		return 0, 0, 0, false
+	}
+	// Observer's own measurements of the suspect's edge.
+	own := Report{
+		Out: p.ov.LastMinute(observer, suspect), // Q_{i->j}
+		In:  p.ov.LastMinute(suspect, observer), // Q_{j->i}
+	}
+	others := make([]Report, 0, len(members))
+	missing := 0
+	for _, m := range members {
+		rOut, rIn, got := p.report(m, suspect, now)
+		if !got {
+			missing++ // missing report counts as zero but keeps its seat
+			continue
+		}
+		others = append(others, Report{Out: rOut, In: rIn})
+	}
+	g, s, k = ComputeIndicators(p.cfg.Q0, own, others, missing)
+	return g, s, k, true
+}
+
+// EvaluateMinute runs bad-peer recognition for the minute that just
+// closed (call immediately after overlay.RollMinute). Every online peer
+// inspects its neighbors' last-minute inbound volume; suspects above
+// the warning threshold are judged against the cut threshold.
+//
+// Decisions are collected first and applied after the sweep: the real
+// protocol runs at all observers concurrently over the same minute's
+// reports, so one observer's disconnect must not erase the evidence a
+// later observer's computation depends on.
+func (p *Police) EvaluateMinute(now float64) {
+	type verdict struct {
+		observer, suspect PeerID
+		g, s              float64
+	}
+	var cuts []verdict
+	n := p.ov.NumPeers()
+	var nbuf []PeerID
+	for v := 0; v < n; v++ {
+		observer := PeerID(v)
+		if !p.ov.Online(observer) {
+			continue
+		}
+		nbuf = p.ov.ActiveNeighbors(observer, nbuf[:0])
+		for _, suspect := range nbuf {
+			if p.blacklisted(observer, suspect, now) {
+				// Future-work extension: a previously-convicted suspect
+				// that reconnected is cut on sight.
+				cuts = append(cuts, verdict{observer, suspect, 0, 0})
+				continue
+			}
+			inbound := p.ov.LastMinute(suspect, observer)
+			if inbound <= p.cfg.WarnThreshold {
+				continue
+			}
+			// Rate-limit Neighbor_Traffic rounds per (observer, suspect).
+			st := &p.states[observer]
+			if last, sent := st.lastReport[suspect]; sent && now-last < p.cfg.ReportRateLimit {
+				continue
+			}
+			st.lastReport[suspect] = now
+			g, s, k, ok := p.Indicators(observer, suspect, now)
+			if !ok {
+				continue
+			}
+			// The observer's own broadcast to the group.
+			p.overhead.NeighborTrafficMsgs += uint64(k - 1)
+			if g > p.cfg.CutThreshold || s > p.cfg.CutThreshold {
+				cuts = append(cuts, verdict{observer, suspect, g, s})
+			}
+		}
+	}
+	for _, c := range cuts {
+		if err := p.ov.Cut(c.observer, c.suspect); err == nil {
+			p.recordCut(c.observer, c.suspect, c.g, c.s, now)
+		}
+	}
+}
+
+// blacklisted reports whether the observer currently bans the suspect.
+func (p *Police) blacklisted(observer, suspect PeerID, now float64) bool {
+	if p.blacklist == nil {
+		return false
+	}
+	bl := p.blacklist[observer]
+	if bl == nil {
+		return false
+	}
+	exp, ok := bl[suspect]
+	if !ok {
+		return false
+	}
+	if now >= exp {
+		delete(bl, suspect)
+		return false
+	}
+	return true
+}
+
+func (p *Police) recordCut(observer, suspect PeerID, g, s, now float64) {
+	if p.blacklist != nil {
+		if p.blacklist[observer] == nil {
+			p.blacklist[observer] = make(map[PeerID]float64)
+		}
+		p.blacklist[observer][suspect] = now + p.cfg.BlacklistSec
+	}
+	p.detections = append(p.detections, Detection{
+		At: now, Observer: observer, Suspect: suspect, General: g, Single: s,
+	})
+	if p.isBad[suspect] {
+		p.detected[suspect] = true
+	} else {
+		p.cutGood[suspect] = true
+	}
+}

@@ -1,0 +1,37 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+
+	"ddpolice/internal/rng"
+)
+
+// FuzzDecode drives the wire decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode to the identical
+// wire form (round-trip stability). `go test` runs the seed corpus;
+// `go test -fuzz=FuzzDecode ./internal/protocol` explores further.
+func FuzzDecode(f *testing.F) {
+	src := rng.New(1)
+	f.Add(Encode(nil, NewGUID(src), 7, 0, Query{Keywords: "seed query"}))
+	f.Add(Encode(nil, NewGUID(src), 1, 0, Ping{}))
+	f.Add(Encode(nil, NewGUID(src), 1, 0, NeighborTraffic{Outgoing: 20000, Incoming: 3}))
+	f.Add(Encode(nil, NewGUID(src), 1, 0, NeighborList{Neighbors: []PeerAddr{AddrFromNodeID(7, 6346)}}))
+	f.Add(Encode(nil, NewGUID(src), 3, 2, Bye{Code: 451, Reason: "g>CT"}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := Encode(nil, msg.Header.GUID, msg.Header.TTL, msg.Header.Hops, msg.Body)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("round-trip mismatch:\n in: %x\nout: %x", data[:n], re)
+		}
+	})
+}

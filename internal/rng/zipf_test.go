@@ -1,0 +1,125 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfRanksInRange(t *testing.T) {
+	src := New(1)
+	for _, s := range []float64{0, 0.5, 0.8, 1.0, 1.5, 2.5} {
+		z := NewZipf(src, 1000, s)
+		for i := 0; i < 5000; i++ {
+			k := z.Rank()
+			if k < 1 || k > 1000 {
+				t.Fatalf("s=%v: rank %d out of [1,1000]", s, k)
+			}
+		}
+	}
+}
+
+func TestZipfMatchesAnalyticDistribution(t *testing.T) {
+	src := New(2)
+	const n, s, draws = 50, 0.8, 500000
+	z := NewZipf(src, n, s)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[z.Rank()]++
+	}
+	want := ZipfWeights(n, s)
+	for rank := 1; rank <= n; rank++ {
+		got := float64(counts[rank]) / draws
+		w := want[rank-1]
+		tol := 4*math.Sqrt(w*(1-w)/draws) + 1e-4
+		if math.Abs(got-w) > tol {
+			t.Errorf("rank %d: freq %.5f, want %.5f (tol %.5f)", rank, got, w, tol)
+		}
+	}
+}
+
+func TestZipfExponentZeroIsUniform(t *testing.T) {
+	src := New(3)
+	const n, draws = 20, 200000
+	z := NewZipf(src, n, 0)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[z.Rank()]++
+	}
+	want := float64(draws) / n
+	for rank := 1; rank <= n; rank++ {
+		if math.Abs(float64(counts[rank])-want) > 5*math.Sqrt(want) {
+			t.Errorf("rank %d: %d draws, want ~%.0f", rank, counts[rank], want)
+		}
+	}
+}
+
+func TestZipfExponentOne(t *testing.T) {
+	// s == 1 is the harmonic special case; the stable helpers must not
+	// divide by zero.
+	src := New(4)
+	z := NewZipf(src, 100, 1)
+	top, rest := 0, 0
+	for i := 0; i < 100000; i++ {
+		if z.Rank() == 1 {
+			top++
+		} else {
+			rest++
+		}
+	}
+	want := ZipfWeights(100, 1)[0]
+	got := float64(top) / 100000
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("rank-1 frequency %v, want ~%v", got, want)
+	}
+}
+
+func TestZipfSingleElement(t *testing.T) {
+	z := NewZipf(New(5), 1, 1.2)
+	for i := 0; i < 100; i++ {
+		if z.Rank() != 1 {
+			t.Fatal("Zipf over a single rank must always return 1")
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero n":     func() { NewZipf(New(1), 0, 1) },
+		"negative s": func() { NewZipf(New(1), 10, -0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	for _, s := range []float64{0, 0.8, 1, 2} {
+		w := ZipfWeights(200, s)
+		var sum float64
+		for i, v := range w {
+			if v <= 0 {
+				t.Fatalf("s=%v: weight[%d] non-positive", s, i)
+			}
+			if i > 0 && v > w[i-1]+1e-12 {
+				t.Fatalf("s=%v: weights not non-increasing at %d", s, i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("s=%v: weights sum to %v", s, sum)
+		}
+	}
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	z := NewZipf(New(1), 100000, 0.8)
+	for i := 0; i < b.N; i++ {
+		z.Rank()
+	}
+}

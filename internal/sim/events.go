@@ -1,0 +1,93 @@
+package sim
+
+// Structured event logging: when Config.Events is set, the simulator
+// emits one JSON object per line describing attack onset, DD-POLICE
+// disconnect decisions, and per-minute system state — the raw material
+// for post-hoc analysis beyond the aggregate Result.
+
+import (
+	"encoding/json"
+	"io"
+
+	"ddpolice/internal/metrics"
+	"ddpolice/internal/overlay"
+	"ddpolice/internal/police"
+)
+
+// Event is one log record. Type is one of "attack_start", "detection",
+// "minute"; unused fields are omitted.
+type Event struct {
+	T    float64 `json:"t"` // seconds of virtual time
+	Type string  `json:"type"`
+
+	// attack_start
+	Agents []overlay.PeerID `json:"agents,omitempty"`
+
+	// detection
+	Observer overlay.PeerID `json:"observer,omitempty"`
+	Suspect  overlay.PeerID `json:"suspect,omitempty"`
+	General  float64        `json:"g,omitempty"`
+	Single   float64        `json:"s,omitempty"`
+	BadPeer  *bool          `json:"bad,omitempty"`
+
+	// minute
+	Minute    int     `json:"minute,omitempty"`
+	Success   float64 `json:"success,omitempty"`
+	Traffic   float64 `json:"traffic,omitempty"`
+	Online    int     `json:"online,omitempty"`
+	CutEdges  int     `json:"cut_edges,omitempty"`
+	Issued    int     `json:"issued,omitempty"`
+	Succeeded int     `json:"succeeded,omitempty"`
+}
+
+// eventLog serializes events to the configured writer.
+type eventLog struct {
+	enc  *json.Encoder
+	seen int // detections already logged
+}
+
+func newEventLog(w io.Writer) *eventLog {
+	if w == nil {
+		return nil
+	}
+	return &eventLog{enc: json.NewEncoder(w)}
+}
+
+func (l *eventLog) emit(e Event) {
+	if l == nil {
+		return
+	}
+	// Encoding errors are deliberately swallowed: event logging must
+	// never abort a simulation mid-run.
+	_ = l.enc.Encode(e)
+}
+
+func (l *eventLog) attackStart(t float64, agents []overlay.PeerID) {
+	l.emit(Event{T: t, Type: "attack_start", Agents: agents})
+}
+
+// drainDetections logs any new disconnect decisions since the last call.
+func (l *eventLog) drainDetections(pol *police.Police) {
+	if l == nil || pol == nil {
+		return
+	}
+	ds := pol.Detections()
+	for ; l.seen < len(ds); l.seen++ {
+		d := ds[l.seen]
+		bad := pol.IsBad(d.Suspect)
+		l.emit(Event{
+			T: d.At, Type: "detection",
+			Observer: d.Observer, Suspect: d.Suspect,
+			General: d.General, Single: d.Single, BadPeer: &bad,
+		})
+	}
+}
+
+func (l *eventLog) minute(t float64, minute int, m metrics.MinuteStats, cutEdges int) {
+	l.emit(Event{
+		T: t, Type: "minute", Minute: minute,
+		Success: m.SuccessRate(), Traffic: m.TrafficCost(),
+		Online: m.OnlinePeers, CutEdges: cutEdges,
+		Issued: m.Issued, Succeeded: m.Succeeded,
+	})
+}

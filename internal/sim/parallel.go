@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunParallel executes the given configurations concurrently, bounded
+// by GOMAXPROCS workers, and returns results in input order. Each
+// configuration carries its own seed, so results are deterministic
+// regardless of scheduling. The first error (if any) is returned with
+// whatever results completed.
+func RunParallel(cfgs []Config) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Averaged runs the same configuration with the given seeds and merges
+// scalar outputs by arithmetic mean (series element-wise, counters by
+// rounded mean). Non-scalar fields (Minutes, Overhead, AgentIDs) are
+// taken from the first seed's run. It reduces run-to-run noise for the
+// figure sweeps.
+func Averaged(cfg Config, seeds []uint64) (*Result, error) {
+	if len(seeds) == 0 {
+		return Run(cfg)
+	}
+	cfgs := make([]Config, len(seeds))
+	for i, s := range seeds {
+		c := cfg
+		c.Seed = s
+		cfgs[i] = c
+	}
+	rs, err := RunParallel(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := *rs[0]
+	n := float64(len(rs))
+	for _, r := range rs[1:] {
+		out.OverallSuccess += r.OverallSuccess
+		out.MeanTraffic += r.MeanTraffic
+		out.MeanResponseTime += r.MeanResponseTime
+		out.MeanHitHops += r.MeanHitHops
+		out.Detections += r.Detections
+		out.FalseNegatives += r.FalseNegatives
+		out.FalsePositives += r.FalsePositives
+		out.CutEdges += r.CutEdges
+		out.AttackVolume += r.AttackVolume
+		for i := range out.SuccessSeries {
+			if i < len(r.SuccessSeries) {
+				out.SuccessSeries[i] += r.SuccessSeries[i]
+			}
+		}
+	}
+	out.OverallSuccess /= n
+	out.MeanTraffic /= n
+	out.MeanResponseTime /= n
+	out.MeanHitHops /= n
+	out.AttackVolume /= n
+	out.Detections = roundDiv(out.Detections, n)
+	out.FalseNegatives = roundDiv(out.FalseNegatives, n)
+	out.FalsePositives = roundDiv(out.FalsePositives, n)
+	out.CutEdges = roundDiv(out.CutEdges, n)
+	for i := range out.SuccessSeries {
+		out.SuccessSeries[i] /= n
+	}
+	return &out, nil
+}
+
+func roundDiv(sum int, n float64) int {
+	return int(float64(sum)/n + 0.5)
+}

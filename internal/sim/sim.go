@@ -1,0 +1,416 @@
+// Package sim ties the substrates together into the paper's simulation:
+// a BRITE-like topology of peers with KaZaA/Gnutella-calibrated
+// workload, churn, overlay DDoS agents, and optionally DD-POLICE. Time
+// advances in one-second ticks; per-minute windows drive the
+// Out_query/In_query counters and DD-POLICE evaluation, exactly
+// mirroring the paper's per-minute definitions.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"ddpolice/internal/attack"
+	"ddpolice/internal/capacity"
+	"ddpolice/internal/flood"
+	"ddpolice/internal/metrics"
+	"ddpolice/internal/overlay"
+	"ddpolice/internal/police"
+	"ddpolice/internal/rng"
+	"ddpolice/internal/topology"
+	"ddpolice/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Seed uint64
+
+	// Topology.
+	NumPeers  int // paper: 2,000
+	TopologyM int // BA attachment parameter; 3 gives avg degree ~6
+
+	// Workload.
+	Catalog       workload.CatalogConfig
+	QueriesPerMin float64 // per online peer; paper: 0.3
+	TTL           int     // flood TTL; 7
+
+	// Peer capability: the effective per-peer query forwarding/
+	// processing rate (queries/min) that overload exhausts. See
+	// capacity.EffectiveForwardPerMin for the calibration rationale.
+	GoodCapacityPerMin float64
+
+	// Churn.
+	ChurnEnabled bool
+	Churn        overlay.ChurnConfig
+
+	// Attack.
+	NumAgents      int
+	Agent          attack.AgentConfig
+	Links          attack.LinkModel
+	AttackStartSec int // agents stay quiet before this
+	// AttackSlices interleaves each tick's attack volume to model fair
+	// capacity sharing among competing floods (see attack.TickSliced).
+	AttackSlices int
+
+	// Defense. PoliceEnabled=false leaves the system undefended.
+	PoliceEnabled bool
+	Police        police.Config
+	// AgentsLieAboutLists makes agents advertise fabricated neighbor
+	// lists (§3.1's lying scenario; countered by Police.VerifyLists).
+	AgentsLieAboutLists bool
+
+	// ControlLossCap bounds the congestion-driven loss probability of
+	// DD-POLICE control messages (lists, reports). 0 disables loss.
+	ControlLossCap float64
+
+	// IdealCounters switches the monitoring counters to the paper's
+	// idealized forward-everything plane (flood.CounterIdeal) — an
+	// ablation; see DESIGN.md "Calibration".
+	IdealCounters bool
+
+	// FairShareDrop enables the related-work baseline defense ([21],
+	// Daswani & Garcia-Molina): peers split their processing capacity
+	// evenly across incoming connections instead of serving
+	// first-come-first-served. Composable with PoliceEnabled.
+	FairShareDrop bool
+
+	// Timing.
+	DurationSec int
+	Delay       flood.DelayModel
+
+	// Events, when non-nil, receives a JSON-lines structured log of the
+	// run (see Event).
+	Events io.Writer
+}
+
+// DefaultSimTTL is the flood TTL used by the scaled-down experiments.
+// Real Gnutella uses TTL 7, but a TTL-7 flood on a 2,000-peer overlay
+// with average degree 6 blankets the entire network, which removes the
+// spatial confinement that real floods have on Gnutella-scale systems
+// (where a flood ball covers a minority of peers). TTL 3 restores a
+// partial-coverage regime (~1/3 of a full 2,000-peer overlay, less
+// under churn), which is what produces the paper's gradual
+// traffic/success curves as the agent count grows; the live nodes
+// (internal/gnet) keep the protocol TTL of 7.
+const DefaultSimTTL = 3
+
+func defaultSimCatalog() workload.CatalogConfig {
+	cfg := workload.DefaultCatalogConfig()
+	// With partial flood coverage, 40 replicas give the healthy ~90%
+	// baseline success rate the paper's no-attack runs show.
+	cfg.MeanReplicas = 40
+	return cfg
+}
+
+func defaultSimAgent() attack.AgentConfig {
+	cfg := attack.DefaultAgentConfig()
+	cfg.TTL = DefaultSimTTL // bogus queries obey the same overlay TTL
+	return cfg
+}
+
+// DefaultConfig returns the paper's §3.5 environment scaled to run on a
+// laptop: 2,000 peers, average degree 6, 0.3 queries/min/peer,
+// 10-minute mean lifetimes, agents at 20k queries/min. See DESIGN.md
+// ("Calibration") for how TTL and per-peer capacity were chosen.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		NumPeers:           2000,
+		TopologyM:          3,
+		Catalog:            defaultSimCatalog(),
+		QueriesPerMin:      0.3,
+		TTL:                DefaultSimTTL,
+		GoodCapacityPerMin: capacity.EffectiveForwardPerMin,
+		ChurnEnabled:       true,
+		Churn:              overlay.DefaultChurnConfig(),
+		NumAgents:          0,
+		Agent:              defaultSimAgent(),
+		Links:              attack.DefaultLinkModel(),
+		AttackStartSec:     300,
+		AttackSlices:       4,
+		PoliceEnabled:      false,
+		Police:             police.DefaultConfig(),
+		ControlLossCap:     0.5,
+		DurationSec:        1800,
+		Delay:              flood.DefaultDelayModel(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumPeers < 10 {
+		return fmt.Errorf("sim: NumPeers = %d", c.NumPeers)
+	}
+	if c.TopologyM < 1 {
+		return fmt.Errorf("sim: TopologyM = %d", c.TopologyM)
+	}
+	if c.QueriesPerMin < 0 {
+		return fmt.Errorf("sim: QueriesPerMin = %v", c.QueriesPerMin)
+	}
+	if c.TTL < 1 {
+		return fmt.Errorf("sim: TTL = %d", c.TTL)
+	}
+	if c.GoodCapacityPerMin <= 0 {
+		return fmt.Errorf("sim: GoodCapacityPerMin = %v", c.GoodCapacityPerMin)
+	}
+	if c.NumAgents < 0 || c.NumAgents >= c.NumPeers {
+		return fmt.Errorf("sim: NumAgents = %d of %d peers", c.NumAgents, c.NumPeers)
+	}
+	if c.DurationSec < 60 {
+		return fmt.Errorf("sim: DurationSec = %d (need at least one minute)", c.DurationSec)
+	}
+	if c.AttackStartSec < 0 {
+		return fmt.Errorf("sim: AttackStartSec = %d", c.AttackStartSec)
+	}
+	if c.PoliceEnabled {
+		if err := c.Police.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	Minutes          []metrics.MinuteStats
+	SuccessSeries    []float64 // S(t) per minute
+	OverallSuccess   float64
+	MeanTraffic      float64 // messages per minute
+	MeanResponseTime float64 // seconds
+	ResponseP50      float64 // median response time, seconds
+	ResponseP95      float64 // 95th-percentile response time, seconds
+	MeanHitHops      float64
+	QueriesIssued    uint64
+
+	// Defense outcomes (zero-valued when PoliceEnabled is false).
+	Detections     int
+	FalseNegatives int // good peers wrongly disconnected (paper naming)
+	FalsePositives int // agents never identified (paper naming)
+	Overhead       police.Overhead
+	CutEdges       int
+
+	// Attack-side accounting.
+	AgentIDs     []overlay.PeerID
+	AttackVolume float64 // bogus query messages put on the wire
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+
+	g, err := topology.BarabasiAlbert(root.Split(), cfg.NumPeers, cfg.TopologyM)
+	if err != nil {
+		return nil, err
+	}
+	ov := overlay.New(g)
+
+	cat, err := workload.NewCatalog(cfg.Catalog, cfg.NumPeers, root.Split())
+	if err != nil {
+		return nil, err
+	}
+	qgen, err := workload.NewQueryGen(cat, cfg.QueriesPerMin, root.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	fleet, err := attack.NewFleet(cfg.NumAgents, cfg.NumPeers, cfg.Agent, cfg.Links, root.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	var pol *police.Police
+	if cfg.PoliceEnabled {
+		pol, err = police.New(ov, cfg.Police)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range fleet.Agents() {
+			pol.SetBad(a.ID, cfg.Agent.Cheat)
+			if cfg.AgentsLieAboutLists {
+				pol.SetListLiar(a.ID)
+			}
+		}
+	}
+
+	var churn *overlay.Churn
+	if cfg.ChurnEnabled {
+		churn = overlay.NewChurn(ov, cfg.Churn, root.Split())
+		// Agents are dedicated machines: they do not churn.
+		for _, a := range fleet.Agents() {
+			churn.Pin(a.ID)
+		}
+	}
+	// Agents "walk in" when the attack begins (§2.1): they are offline
+	// until AttackStartSec and join the overlay then.
+	for _, a := range fleet.Agents() {
+		ov.SetOnline(a.ID, false)
+	}
+
+	eng := flood.NewEngine(ov)
+	if cfg.IdealCounters {
+		eng.SetCounterMode(flood.CounterIdeal)
+	}
+	budget := flood.NewBudget(cfg.NumPeers, cfg.GoodCapacityPerMin/60)
+	if cfg.FairShareDrop {
+		budget.EnableFairShare(ov)
+	}
+	coll := metrics.NewCollector()
+	lossSrc := root.Split()
+	events := newEventLog(cfg.Events)
+
+	var (
+		onlineBuf  []overlay.PeerID
+		queryBuf   []workload.Query
+		prevOnline []bool
+		overheadAt uint64
+		res        Result
+	)
+	if cfg.ChurnEnabled && cfg.PoliceEnabled {
+		prevOnline = make([]bool, cfg.NumPeers)
+		for v := range prevOnline {
+			prevOnline[v] = ov.Online(overlay.PeerID(v))
+		}
+	}
+	if cfg.PoliceEnabled {
+		// Initial neighbor-list exchange: the network is already
+		// running at t=0, so every peer has performed at least one
+		// exchange (its join-time exchange).
+		for v := 0; v < cfg.NumPeers; v++ {
+			if ov.Online(overlay.PeerID(v)) {
+				pol.NotifyJoin(overlay.PeerID(v), 0)
+			}
+		}
+	}
+
+	for t := 0; t < cfg.DurationSec; t++ {
+		now := float64(t)
+		budget.Refill()
+
+		// 1. Churn, with police notifications derived from the diff.
+		if churn != nil {
+			churn.Tick(1)
+			if pol != nil {
+				for v := range prevOnline {
+					on := ov.Online(overlay.PeerID(v))
+					if on == prevOnline[v] {
+						continue
+					}
+					prevOnline[v] = on
+					if on {
+						pol.NotifyJoin(overlay.PeerID(v), now)
+					} else {
+						pol.NotifyLeave(overlay.PeerID(v), now)
+					}
+				}
+			}
+		}
+
+		// 1b. Attack onset: the agents join the overlay.
+		if t == cfg.AttackStartSec && fleet.Size() > 0 {
+			for _, a := range fleet.Agents() {
+				ov.SetOnline(a.ID, true)
+				if pol != nil {
+					pol.NotifyJoin(a.ID, now)
+				}
+				if prevOnline != nil {
+					prevOnline[a.ID] = true
+				}
+			}
+			events.attackStart(now, fleet.IDs())
+		}
+
+		// 2. First half of the tick's attack volume.
+		attacking := t >= cfg.AttackStartSec && fleet.Size() > 0
+		slices := cfg.AttackSlices
+		if slices < 2 {
+			slices = 2
+		}
+		if attacking {
+			br := fleet.TickSliced(eng, ov, budget, 0.5, slices/2, 2*t)
+			coll.RecordBatch(br)
+			res.AttackVolume += br.QueryMessages
+		}
+
+		// 3. Good-peer queries, interleaved mid-tick so they compete
+		// with attack traffic on fair terms rather than always seeing a
+		// drained (or untouched) budget.
+		onlineBuf = onlineBuf[:0]
+		for v := 0; v < cfg.NumPeers; v++ {
+			if ov.Online(overlay.PeerID(v)) {
+				onlineBuf = append(onlineBuf, overlay.PeerID(v))
+			}
+		}
+		queryBuf = qgen.Tick(onlineBuf, 1, queryBuf[:0])
+		for _, q := range queryBuf {
+			qr := eng.FloodQuery(q.Issuer, cfg.TTL, cat.Holders(q.Object), budget, cfg.Delay)
+			coll.RecordQuery(qr)
+		}
+
+		// 3b. Second half of the attack volume.
+		if attacking {
+			br := fleet.TickSliced(eng, ov, budget, 0.5, slices-slices/2, 2*t+1)
+			coll.RecordBatch(br)
+			res.AttackVolume += br.QueryMessages
+		}
+
+		// 4. DD-POLICE periodic work.
+		if pol != nil {
+			pol.Tick(now)
+		}
+
+		// 5. Minute boundary: close counters, evaluate, collect.
+		if (t+1)%60 == 0 {
+			ov.RollMinute()
+			if pol != nil {
+				pol.EvaluateMinute(now + 1)
+				oh := pol.Overhead().Total()
+				coll.AddControl(float64(oh - overheadAt))
+				overheadAt = oh
+			}
+			coll.SetOnline(len(onlineBuf))
+			coll.CloseMinute()
+			if events != nil {
+				ms := coll.Minutes()
+				events.drainDetections(pol)
+				events.minute(now+1, len(ms)-1, ms[len(ms)-1], ov.CutCount())
+			}
+			if pol != nil {
+				// DD-POLICE control messages ride the same saturated
+				// links as the attack traffic: derive their loss rate
+				// for the next minute from the congestion just measured.
+				ms := coll.Minutes()
+				last := ms[len(ms)-1]
+				loss := 0.0
+				if total := last.QueryMsgs + last.CapacityDrop; total > 0 {
+					loss = last.CapacityDrop / total
+				}
+				if loss > cfg.ControlLossCap {
+					loss = cfg.ControlLossCap
+				}
+				pol.SetControlLoss(loss, lossSrc)
+			}
+		}
+	}
+
+	res.Minutes = coll.Minutes()
+	res.SuccessSeries = coll.SuccessSeries()
+	res.OverallSuccess = coll.OverallSuccessRate()
+	res.MeanTraffic = coll.MeanTrafficPerMinute()
+	res.MeanResponseTime = coll.MeanResponseTime()
+	res.ResponseP50 = coll.ResponseTimeQuantile(0.5)
+	res.ResponseP95 = coll.ResponseTimeQuantile(0.95)
+	res.MeanHitHops = coll.MeanHitHops()
+	res.QueriesIssued = qgen.Issued()
+	res.AgentIDs = fleet.IDs()
+	res.CutEdges = ov.CutCount()
+	if pol != nil {
+		res.Detections = len(pol.Detections())
+		res.FalseNegatives = pol.FalseNegatives()
+		res.FalsePositives = pol.FalsePositives(fleet.IDs())
+		res.Overhead = pol.Overhead()
+	}
+	return &res, nil
+}

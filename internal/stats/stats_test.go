@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ddpolice/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v", w.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !almostEq(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+	if !almostEq(w.Sum(), 40, 1e-9) {
+		t.Errorf("sum = %v", w.Sum())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.Stddev() != 0 || w.CI95() != 0 {
+		t.Fatal("empty Welford must report zeros")
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	if err := quick.Check(func(seed uint64, split uint8) bool {
+		r := rng.New(seed)
+		n := 200
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		k := int(split) % n
+		var all, a, b Welford
+		for i, x := range xs {
+			all.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return almostEq(a.Mean(), all.Mean(), 1e-9) &&
+			almostEq(a.Variance(), all.Variance(), 1e-7) &&
+			a.Count() == all.Count() &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Fatal("merge with empty changed state")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Mean() != 2 || b.Count() != 2 {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.25, 25.75}, {0.99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Q(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSampleQuantileEmptyAndSingle(t *testing.T) {
+	s := NewSample(0)
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty sample quantile must be 0")
+	}
+	s.Add(7)
+	for _, q := range []float64{0, 0.3, 1} {
+		if s.Quantile(q) != 7 {
+			t.Errorf("single-element Q(%v) = %v", q, s.Quantile(q))
+		}
+	}
+}
+
+func TestSampleAddAfterQuantile(t *testing.T) {
+	s := NewSample(0)
+	s.Add(10)
+	s.Add(1)
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("min = %v", got)
+	}
+	s.Add(0.5) // must re-sort lazily
+	if got := s.Quantile(0); got != 0.5 {
+		t.Fatalf("after re-add, min = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	if h.Bucket(0) != 2 { // 0 and 0.5
+		t.Errorf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(5) != 1 {
+		t.Errorf("bucket 5 = %d", h.Bucket(5))
+	}
+	if h.Bucket(9) != 1 { // 9.999
+		t.Errorf("bucket 9 = %d", h.Bucket(9))
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	// A value infinitesimally below hi must land in the last bucket, not
+	// panic from float rounding.
+	h := NewHistogram(0, 0.3, 3)
+	h.Add(math.Nextafter(0.3, 0))
+	if h.Bucket(2) != 1 {
+		t.Fatal("upper-edge value not placed in final bucket")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid bounds")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Error("initial value must be 0")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Errorf("first update = %v", got)
+	}
+	if got := e.Update(20); !almostEq(got, 15, 1e-12) {
+		t.Errorf("second update = %v", got)
+	}
+}
+
+func TestEWMAPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() { recover() }()
+			NewEWMA(alpha)
+			t.Errorf("alpha=%v: expected panic", alpha)
+		}()
+	}
+}
+
+func TestTimeSeriesWindows(t *testing.T) {
+	var ts TimeSeries
+	for i := 1; i <= 10; i++ {
+		ts.Append(float64(i))
+	}
+	if got := ts.WindowSum(0, 10); got != 55 {
+		t.Errorf("full sum = %v", got)
+	}
+	if got := ts.WindowSum(-5, 3); got != 6 {
+		t.Errorf("clamped-low sum = %v", got)
+	}
+	if got := ts.WindowSum(8, 99); got != 19 {
+		t.Errorf("clamped-high sum = %v", got)
+	}
+	if got := ts.WindowMean(0, 10); got != 5.5 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := ts.WindowMean(5, 5); got != 0 {
+		t.Errorf("empty-window mean = %v", got)
+	}
+}
+
+func TestTimeSeriesDownsample(t *testing.T) {
+	var ts TimeSeries
+	for i := 0; i < 7; i++ {
+		ts.Append(float64(i))
+	}
+	got := ts.Downsample(3)
+	want := []float64{1, 4, 6} // means of {0,1,2},{3,4,5},{6}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Errorf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i & 1023))
+	}
+}

@@ -1,0 +1,156 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"ddpolice/internal/rng"
+)
+
+func TestClusteringCoefficientKnownGraphs(t *testing.T) {
+	// Triangle: every node's neighbors are connected -> C = 1.
+	b := NewBuilder(3)
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {0, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Build().ClusteringCoefficient(); got != 1 {
+		t.Fatalf("triangle C = %v", got)
+	}
+	// Star: hub neighbors never interconnect -> C = 0.
+	b = NewBuilder(5)
+	for i := 1; i < 5; i++ {
+		if err := b.AddEdge(0, NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Build().ClusteringCoefficient(); got != 0 {
+		t.Fatalf("star C = %v", got)
+	}
+	// Ring lattice with k=2 has C = 0.5.
+	g, err := RingLattice(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ClusteringCoefficient(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("ring-lattice C = %v, want 0.5", got)
+	}
+}
+
+func TestAssortativityBAIsDisassortative(t *testing.T) {
+	g, err := BarabasiAlbert(rng.New(5), 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.DegreeAssortativity()
+	if r > 0.05 {
+		t.Fatalf("BA assortativity = %v, expected non-positive (hubs attach to leaves)", r)
+	}
+	if r < -1 || r > 1 {
+		t.Fatalf("assortativity %v outside [-1,1]", r)
+	}
+}
+
+func TestAssortativityRegularGraphIsDegenerate(t *testing.T) {
+	g, err := RingLattice(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All degrees equal: zero variance -> defined as 0.
+	if got := g.DegreeAssortativity(); got != 0 {
+		t.Fatalf("regular graph assortativity = %v", got)
+	}
+}
+
+func TestSamplePathLengthsLine(t *testing.T) {
+	b := NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		if err := b.AddEdge(NodeID(i), NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	st, err := g.SamplePathLengths(rng.New(1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 20 ordered pairs; mean distance on a path of 5 nodes = 2.
+	if st.Samples != 20 || st.Max != 4 {
+		t.Fatalf("samples=%d max=%d", st.Samples, st.Max)
+	}
+	if math.Abs(st.Mean-2) > 1e-9 {
+		t.Fatalf("mean = %v, want 2", st.Mean)
+	}
+	if st.WithinTTL7 != 1 {
+		t.Fatalf("within TTL7 = %v", st.WithinTTL7)
+	}
+}
+
+func TestSmallWorldClaim(t *testing.T) {
+	// The paper cites [25]: ~95% of pairs within 7 hops. Our BRITE-like
+	// 2000-peer topology should satisfy it comfortably.
+	g, err := BarabasiAlbert(rng.New(6), 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.SamplePathLengths(rng.New(7), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WithinTTL7 < 0.95 {
+		t.Fatalf("within-7-hops fraction = %v, want >= 0.95", st.WithinTTL7)
+	}
+}
+
+func TestBallSizesMonotone(t *testing.T) {
+	g, err := BarabasiAlbert(rng.New(8), 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balls, err := g.BallSizes(rng.New(9), 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(balls) != 5 {
+		t.Fatalf("len = %d", len(balls))
+	}
+	prev := 0.0
+	for h, b := range balls {
+		if b < prev {
+			t.Fatalf("ball sizes not monotone at hop %d: %v", h+1, balls)
+		}
+		prev = b
+	}
+	// Hop-1 ball = mean degree (~6).
+	if balls[0] < 4 || balls[0] > 9 {
+		t.Fatalf("hop-1 ball = %v, want ~ mean degree", balls[0])
+	}
+	// TTL-3 coverage at 2,000 peers is the simulator's partial-coverage
+	// regime (DESIGN.md, finding 2): roughly a third of the overlay,
+	// well away from the TTL-7 blanket.
+	frac := balls[2] / 2000
+	if frac < 0.1 || frac > 0.45 {
+		t.Fatalf("TTL-3 coverage = %.2f, outside the calibration band", frac)
+	}
+	if balls[4]/2000 < 0.9 {
+		t.Fatalf("TTL-5 coverage = %.2f, expected near-blanket", balls[4]/2000)
+	}
+}
+
+func TestAnalysisErrors(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if _, err := g.SamplePathLengths(rng.New(1), 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := g.BallSizes(rng.New(1), 1, 3); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g2, err := RingLattice(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.BallSizes(rng.New(1), 1, 0); err == nil {
+		t.Error("zero maxHops accepted")
+	}
+}

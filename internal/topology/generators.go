@@ -1,0 +1,182 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"ddpolice/internal/rng"
+)
+
+// BarabasiAlbert generates a preferential-attachment graph with n nodes
+// where each arriving node attaches to m distinct existing nodes chosen
+// with probability proportional to degree. The result has average
+// degree ≈ 2m, a power-law tail ("a few peers have tens of direct
+// neighbors"), and minimum degree m — matching the paper's BRITE
+// topologies (n = 2000, m = 3 gives avg degree ≈ 6, most nodes 3–4).
+func BarabasiAlbert(src *rng.Source, n, m int) (*Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("topology: BarabasiAlbert m=%d < 1", m)
+	}
+	if n < m+1 {
+		return nil, fmt.Errorf("topology: BarabasiAlbert n=%d too small for m=%d", n, m)
+	}
+	b := NewBuilder(n)
+	// Seed: a clique over the first m+1 nodes so every node has degree
+	// >= m from the start.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			if err := b.AddEdge(NodeID(i), NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// repeated stores each endpoint once per incident edge, so sampling
+	// uniformly from it is degree-proportional sampling.
+	repeated := make([]NodeID, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			repeated = append(repeated, NodeID(i), NodeID(j))
+		}
+	}
+	targets := make([]NodeID, 0, m)
+	for v := m + 1; v < n; v++ {
+		targets = targets[:0]
+	sample:
+		for len(targets) < m {
+			t := repeated[src.Intn(len(repeated))]
+			for _, prev := range targets {
+				if prev == t {
+					continue sample
+				}
+			}
+			targets = append(targets, t)
+		}
+		for _, t := range targets {
+			if err := b.AddEdge(NodeID(v), t); err != nil {
+				return nil, err
+			}
+			repeated = append(repeated, NodeID(v), t)
+		}
+	}
+	return b.Build(), nil
+}
+
+// Waxman generates the classic BRITE router-level model: n nodes placed
+// uniformly in the unit square; each pair (u,v) is linked with
+// probability alpha * exp(-d(u,v) / (beta * L)) where L = sqrt(2) is
+// the maximum possible distance. If the result is disconnected, a
+// minimal set of bridging edges joins the components.
+func Waxman(src *rng.Source, n int, alpha, beta float64) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: Waxman n=%d", n)
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 {
+		return nil, fmt.Errorf("topology: Waxman alpha=%v beta=%v out of range", alpha, beta)
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = src.Float64(), src.Float64()
+	}
+	maxDist := math.Sqrt2
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			d := math.Sqrt(dx*dx + dy*dy)
+			if src.Bool(alpha * math.Exp(-d/(beta*maxDist))) {
+				if err := b.AddEdge(NodeID(i), NodeID(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	connectComponents(src, b, n)
+	return b.Build(), nil
+}
+
+// ErdosRenyi generates G(n, p): every pair is linked independently with
+// probability p, then components are bridged to guarantee connectivity.
+func ErdosRenyi(src *rng.Source, n int, p float64) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: ErdosRenyi n=%d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("topology: ErdosRenyi p=%v out of [0,1]", p)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if src.Bool(p) {
+				if err := b.AddEdge(NodeID(i), NodeID(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	connectComponents(src, b, n)
+	return b.Build(), nil
+}
+
+// RingLattice generates a ring where each node links to its k nearest
+// neighbors on each side (2k total). Deterministic; used in tests where
+// exact structure matters.
+func RingLattice(n, k int) (*Graph, error) {
+	if n < 3 || k < 1 || 2*k >= n {
+		return nil, fmt.Errorf("topology: RingLattice n=%d k=%d invalid", n, k)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k; d++ {
+			j := (i + d) % n
+			if !b.HasEdge(NodeID(i), NodeID(j)) {
+				if err := b.AddEdge(NodeID(i), NodeID(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// connectComponents adds one edge between each pair of adjacent
+// components (in discovery order) so the final graph is connected.
+func connectComponents(src *rng.Source, b *Builder, n int) {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for e := range b.edges {
+		ra, rb := find(int(e[0])), find(int(e[1]))
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	// Collect one representative per component.
+	reps := make([]NodeID, 0)
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if !seen[r] {
+			seen[r] = true
+			reps = append(reps, NodeID(i))
+		}
+	}
+	// Shuffle then chain the components together.
+	src.Shuffle(len(reps), func(i, j int) { reps[i], reps[j] = reps[j], reps[i] })
+	for i := 1; i < len(reps); i++ {
+		// The representatives are in different components, so the edge
+		// cannot be a duplicate or self-loop.
+		if err := b.AddEdge(reps[i-1], reps[i]); err != nil {
+			panic("topology: internal error bridging components: " + err.Error())
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package viz renders simple line charts as standalone SVG documents
+// using only the standard library. cmd/ddexp uses it to emit the
+// paper's figures as images next to the printed tables.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one named line.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Chart is a 2-D line chart with linear axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height default to 640x400 when zero.
+	Width, Height int
+	// YMin/YMax force the y range when non-nil.
+	YMin, YMax *float64
+}
+
+// Default palette (colorblind-safe Okabe-Ito subset).
+var palette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000",
+}
+
+type bounds struct{ xmin, xmax, ymin, ymax float64 }
+
+func (c *Chart) bounds() (bounds, error) {
+	b := bounds{math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)}
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return b, fmt.Errorf("viz: series %q has %d x but %d y", s.Label, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			b.xmin = math.Min(b.xmin, s.X[i])
+			b.xmax = math.Max(b.xmax, s.X[i])
+			b.ymin = math.Min(b.ymin, s.Y[i])
+			b.ymax = math.Max(b.ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return b, fmt.Errorf("viz: chart %q has no points", c.Title)
+	}
+	if c.YMin != nil {
+		b.ymin = *c.YMin
+	}
+	if c.YMax != nil {
+		b.ymax = *c.YMax
+	}
+	if b.xmax == b.xmin {
+		b.xmax = b.xmin + 1
+	}
+	if b.ymax == b.ymin {
+		b.ymax = b.ymin + 1
+	}
+	return b, nil
+}
+
+// niceTicks returns ~n aesthetically spaced tick positions covering
+// [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	rawStep := span / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch norm := rawStep / mag; {
+	case norm < 1.5:
+		step = mag
+	case norm < 3:
+		step = 2 * mag
+	case norm < 7:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/1e6; v += step {
+		// Round away float drift.
+		ticks = append(ticks, math.Round(v/step)*step)
+	}
+	return ticks
+}
+
+// fmtTick renders a tick value compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// RenderSVG writes the chart as a complete SVG document.
+func (c *Chart) RenderSVG(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 400
+	}
+	b, err := c.bounds()
+	if err != nil {
+		return err
+	}
+	const (
+		marginL = 70
+		marginR = 150
+		marginT = 40
+		marginB = 55
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	if plotW <= 0 || plotH <= 0 {
+		return fmt.Errorf("viz: chart %dx%d too small", width, height)
+	}
+	px := func(x float64) float64 { return marginL + (x-b.xmin)/(b.xmax-b.xmin)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + plotH - (y-b.ymin)/(b.ymax-b.ymin)*plotH }
+
+	pr := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := pr(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	pr(`<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	pr(`<text x="%d" y="24" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginL, xmlEscape(c.Title))
+
+	// Axes.
+	pr(`<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, float64(marginT)+plotH, float64(marginL)+plotW, float64(marginT)+plotH)
+	pr(`<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, float64(marginT)+plotH)
+
+	// Ticks and gridlines.
+	for _, tx := range niceTicks(b.xmin, b.xmax, 7) {
+		x := px(tx)
+		pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			x, float64(marginT)+plotH, x, float64(marginT)+plotH+5)
+		pr(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, float64(marginT)+plotH+18, fmtTick(tx))
+	}
+	for _, ty := range niceTicks(b.ymin, b.ymax, 6) {
+		y := py(ty)
+		pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			float64(marginL), y, float64(marginL)+plotW, y)
+		pr(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			float64(marginL)-7, y+4, fmtTick(ty))
+	}
+
+	// Axis labels.
+	if c.XLabel != "" {
+		pr(`<text x="%.1f" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			float64(marginL)+plotW/2, height-12, xmlEscape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		pr(`<text x="16" y="%.1f" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+			float64(marginT)+plotH/2, float64(marginT)+plotH/2, xmlEscape(c.YLabel))
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		if len(s.X) > 1 {
+			path := ""
+			for j := range s.X {
+				path += fmt.Sprintf("%.1f,%.1f ", px(s.X[j]), py(clamp(s.Y[j], b.ymin, b.ymax)))
+			}
+			pr(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", path, color)
+		}
+		for j := range s.X {
+			pr(`<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				px(s.X[j]), py(clamp(s.Y[j], b.ymin, b.ymax)), color)
+		}
+		// Legend entry.
+		ly := marginT + 14 + i*18
+		pr(`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			float64(marginL)+plotW+10, ly, float64(marginL)+plotW+30, ly, color)
+		pr(`<text x="%.1f" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			float64(marginL)+plotW+35, ly+4, xmlEscape(s.Label))
+	}
+	return pr("</svg>\n")
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func xmlEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		case '"':
+			out = append(out, []rune("&quot;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

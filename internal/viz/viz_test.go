@@ -1,0 +1,165 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+}
+
+func twoSeries() *Chart {
+	return &Chart{
+		Title:  "Figure N: test",
+		XLabel: "agents",
+		YLabel: "success (%)",
+		Series: []Series{
+			{Label: "no defense", X: []float64{0, 5, 10}, Y: []float64{90, 60, 40}},
+			{Label: "DD-POLICE", X: []float64{0, 5, 10}, Y: []float64{90, 85, 80}},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	svg := render(t, twoSeries())
+	wellFormed(t, svg)
+	for _, want := range []string{
+		"<svg", "polyline", "circle", "Figure N: test",
+		"no defense", "DD-POLICE", "agents", "success (%)",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+	// Two polylines: one per series.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestSinglePointSeries(t *testing.T) {
+	c := &Chart{
+		Title:  "points",
+		Series: []Series{{Label: "p", X: []float64{1}, Y: []float64{2}}},
+	}
+	svg := render(t, c)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "<polyline") {
+		t.Error("single-point series must not draw a line")
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Error("single-point series must draw a marker")
+	}
+}
+
+func TestConstantSeriesDoesNotDivideByZero(t *testing.T) {
+	c := &Chart{
+		Title:  "flat",
+		Series: []Series{{Label: "f", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}},
+	}
+	svg := render(t, c)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate range leaked NaN/Inf into SVG")
+	}
+}
+
+func TestEmptyChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{Title: "empty"}).RenderSVG(&buf); err == nil {
+		t.Fatal("empty chart rendered")
+	}
+	c := &Chart{Series: []Series{{Label: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := c.RenderSVG(&buf); err == nil {
+		t.Fatal("mismatched series rendered")
+	}
+}
+
+func TestYBoundsOverride(t *testing.T) {
+	lo, hi := 0.0, 100.0
+	c := twoSeries()
+	c.YMin, c.YMax = &lo, &hi
+	svg := render(t, c)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, ">100<") {
+		t.Error("forced y max 100 not reflected in ticks")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := twoSeries()
+	c.Title = `<attack> & "defense"`
+	svg := render(t, c)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "<attack>") {
+		t.Fatal("unescaped markup in title")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 100, 6}, {0, 1, 6}, {3, 7, 5}, {-50, 50, 7}, {0, 0.003, 5}, {12345, 98765, 6},
+	}
+	for _, tc := range cases {
+		ticks := niceTicks(tc.lo, tc.hi, tc.n)
+		if len(ticks) < 2 {
+			t.Errorf("[%v,%v]: only %d ticks", tc.lo, tc.hi, len(ticks))
+			continue
+		}
+		step := ticks[1] - ticks[0]
+		for i := 1; i < len(ticks); i++ {
+			if math.Abs((ticks[i]-ticks[i-1])-step) > step*1e-6 {
+				t.Errorf("[%v,%v]: uneven ticks %v", tc.lo, tc.hi, ticks)
+			}
+		}
+		if ticks[0] < tc.lo-step*1e-6 || ticks[len(ticks)-1] > tc.hi+step*1e-6 {
+			t.Errorf("[%v,%v]: ticks out of range %v", tc.lo, tc.hi, ticks)
+		}
+		if len(ticks) > 3*tc.n {
+			t.Errorf("[%v,%v]: too many ticks (%d)", tc.lo, tc.hi, len(ticks))
+		}
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		5:        "5",
+		1500000:  "1.5M",
+		25000:    "25k",
+		0.25:     "0.25",
+		-3000000: "-3M",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package ddpolice
+
+// Extension studies beyond the paper's figures: DD-POLICE-r (§3.5
+// promises r > 1), the §3.1 lying-peer countermeasure, and ablations of
+// the modeling decisions DESIGN.md calls out.
+
+import (
+	"fmt"
+
+	"ddpolice/internal/capacity"
+	"ddpolice/internal/chord"
+	"ddpolice/internal/metrics"
+	"ddpolice/internal/rng"
+)
+
+// RadiusPoint compares DD-POLICE-r variants.
+type RadiusPoint struct {
+	Radius          int
+	Detections      int
+	FalseNegatives  int
+	FalsePositives  int
+	ListMessages    uint64
+	Success         float64
+	RecoveryMinutes int
+}
+
+// RadiusStudy contrasts DD-POLICE-1 with DD-POLICE-2 under heavy churn:
+// r=2 relays neighbor lists one hop further, so buddy-group views
+// survive a missed exchange at the cost of more control traffic (the
+// §3.5 motivation for r > 1).
+func RadiusStudy(scale Scale) ([]RadiusPoint, error) {
+	base := scale.baseConfig()
+	// Heavy churn is where the radius matters.
+	base.Churn.MeanLifetime = 300
+	base.Churn.StddevLifetime = 70
+	base.Churn.MeanOffline = 300
+	baseline, err := scale.run(base)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RadiusPoint, 0, 2)
+	for _, r := range []int{1, 2} {
+		cfg := base
+		cfg.NumAgents = scale.TimelineAgents
+		cfg.PoliceEnabled = true
+		cfg.Police.Radius = r
+		res, err := scale.run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		dmg := metrics.DamageSeries(baseline.SuccessSeries, res.SuccessSeries)
+		rec, err := metrics.RecoveryTime(dmg, 20, 15)
+		if err != nil {
+			rec = 0
+		}
+		out = append(out, RadiusPoint{
+			Radius:          r,
+			Detections:      res.Detections,
+			FalseNegatives:  res.FalseNegatives,
+			FalsePositives:  res.FalsePositives,
+			ListMessages:    res.Overhead.NeighborListMsgs,
+			Success:         res.OverallSuccess,
+			RecoveryMinutes: rec,
+		})
+	}
+	return out, nil
+}
+
+// LiarPoint is one row of the lying-peer study.
+type LiarPoint struct {
+	Label          string
+	Detections     int
+	FalsePositives int
+	Success        float64
+	VerifyMsgs     uint64
+}
+
+// LiarStudy evaluates the §3.1 countermeasure: agents fabricate
+// neighbor-list entries; with VerifyLists enabled, receivers confirm
+// each claim with the named peer and disconnect inconsistent liars.
+func LiarStudy(scale Scale) ([]LiarPoint, error) {
+	rows := []struct {
+		label  string
+		lie    bool
+		verify bool
+	}{
+		{"honest lists", false, false},
+		{"lying agents, no verification", true, false},
+		{"lying agents + verification", true, true},
+	}
+	out := make([]LiarPoint, 0, len(rows))
+	for _, row := range rows {
+		cfg := scale.baseConfig()
+		cfg.NumAgents = scale.TimelineAgents
+		cfg.PoliceEnabled = true
+		cfg.AgentsLieAboutLists = row.lie
+		cfg.Police.VerifyLists = row.verify
+		res, err := scale.run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LiarPoint{
+			Label:          row.label,
+			Detections:     res.Detections,
+			FalsePositives: res.FalsePositives,
+			Success:        res.OverallSuccess,
+			VerifyMsgs:     res.Overhead.VerifyMsgs,
+		})
+	}
+	return out, nil
+}
+
+// BaselinePoint compares defense strategies against the same attack.
+type BaselinePoint struct {
+	Label          string
+	Success        float64
+	Response       float64
+	Detections     int
+	FalseNegatives int
+}
+
+// BaselineDefenseStudy contrasts DD-POLICE with the related-work
+// baseline the paper singles out (§4, reference [21]): application-
+// layer load balancing that gives every connection a fair share of a
+// peer's capacity. The paper argues the survival approach "could be
+// less effective when the number of DDoS agents is getting large"
+// because it never removes the attackers; DD-POLICE does.
+func BaselineDefenseStudy(scale Scale) ([]BaselinePoint, error) {
+	rows := []struct {
+		label  string
+		mutate func(*Config)
+	}{
+		{"no defense", func(*Config) {}},
+		{"fair-share drop [21]", func(c *Config) { c.FairShareDrop = true }},
+		{"DD-POLICE", func(c *Config) { c.PoliceEnabled = true }},
+		{"DD-POLICE + fair-share", func(c *Config) { c.PoliceEnabled = true; c.FairShareDrop = true }},
+	}
+	out := make([]BaselinePoint, 0, len(rows))
+	for _, row := range rows {
+		cfg := scale.baseConfig()
+		cfg.NumAgents = scale.TimelineAgents
+		row.mutate(&cfg)
+		r, err := scale.run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BaselinePoint{
+			Label:          row.label,
+			Success:        r.OverallSuccess,
+			Response:       r.MeanResponseTime,
+			Detections:     r.Detections,
+			FalseNegatives: r.FalseNegatives,
+		})
+	}
+	return out, nil
+}
+
+// AblationPoint is one modeling-decision ablation row.
+type AblationPoint struct {
+	Label          string
+	Success        float64
+	SuccessNoDef   float64
+	Detections     int
+	FalseNegatives int
+	FalsePositives int
+}
+
+// AblationStudy re-runs the 10-agent scenario with each calibrated
+// modeling decision toggled, quantifying how load-bearing it is:
+//
+//   - "default": the calibrated operating point;
+//   - "ideal counters": the paper's forward-everything monitoring plane
+//     (breaks detection; DESIGN.md finding 1);
+//   - "paper capacity 10k": the literal 10,000 q/min processing rate
+//     (masks agents behind background flows; finding 1);
+//   - "ttl 7": full-coverage floods (cliff damage; finding 2);
+//   - "broadcast agents": agents flood the same stream to all
+//     neighbors instead of the Fig 1 spray;
+//   - "no churn": a static population.
+func AblationStudy(scale Scale) ([]AblationPoint, error) {
+	type variant struct {
+		label  string
+		mutate func(*Config)
+	}
+	variants := []variant{
+		{"default", func(*Config) {}},
+		{"ideal counters", func(c *Config) { c.IdealCounters = true }},
+		{"paper capacity 10k", func(c *Config) { c.GoodCapacityPerMin = 10000 }},
+		{"ttl 7", func(c *Config) { c.TTL = 7; c.Agent.TTL = 7 }},
+		{"broadcast agents", func(c *Config) { c.Agent.Mode = broadcastMode }},
+		{"no churn", func(c *Config) { c.ChurnEnabled = false }},
+	}
+	out := make([]AblationPoint, 0, len(variants))
+	for _, v := range variants {
+		undef := scale.baseConfig()
+		undef.NumAgents = scale.TimelineAgents
+		v.mutate(&undef)
+		ru, err := scale.run(undef)
+		if err != nil {
+			return nil, fmt.Errorf("%s (undefended): %w", v.label, err)
+		}
+		def := undef
+		def.PoliceEnabled = true
+		rd, err := scale.run(def)
+		if err != nil {
+			return nil, fmt.Errorf("%s (defended): %w", v.label, err)
+		}
+		out = append(out, AblationPoint{
+			Label:          v.label,
+			Success:        rd.OverallSuccess,
+			SuccessNoDef:   ru.OverallSuccess,
+			Detections:     rd.Detections,
+			FalseNegatives: rd.FalseNegatives,
+			FalsePositives: rd.FalsePositives,
+		})
+	}
+	return out, nil
+}
+
+// BlacklistPoint compares DD-POLICE with and without the re-join
+// blacklist extension.
+type BlacklistPoint struct {
+	Label        string
+	StableDamage float64
+	Detections   int
+	Success      float64
+}
+
+// BlacklistStudy measures the §5 future-work extension: the paper
+// notes that nothing stops a disconnected agent from rejoining and
+// launching another round. In the simulator that re-entry happens every
+// time a previously-attacked good peer churns (its cuts are reset), and
+// it is what keeps the residual damage in Figure 12 above zero. A
+// blacklist lets observers cut convicted suspects on sight.
+func BlacklistStudy(scale Scale) ([]BlacklistPoint, error) {
+	base := scale.baseConfig()
+	baseline, err := scale.run(base)
+	if err != nil {
+		return nil, err
+	}
+	rows := []struct {
+		label string
+		secs  float64
+	}{
+		{"DD-POLICE (paper: no memory)", 0},
+		{"DD-POLICE + 10-minute blacklist", 600},
+	}
+	out := make([]BlacklistPoint, 0, len(rows))
+	for _, row := range rows {
+		cfg := base
+		cfg.NumAgents = scale.TimelineAgents
+		cfg.PoliceEnabled = true
+		cfg.Police.BlacklistSec = row.secs
+		r, err := scale.run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		dmg := metrics.DamageSeries(baseline.SuccessSeries, r.SuccessSeries)
+		out = append(out, BlacklistPoint{
+			Label:        row.label,
+			StableDamage: metrics.MeanTail(dmg, 0.3),
+			Detections:   r.Detections,
+			Success:      r.OverallSuccess,
+		})
+	}
+	return out, nil
+}
+
+// StructuredPoint compares attack damage on unstructured flooding vs a
+// Chord-style structured overlay at the same agent count.
+type StructuredPoint struct {
+	Agents              int
+	UnstructuredSuccess float64
+	StructuredSuccess   float64
+	StructuredMeanHops  float64
+}
+
+// StructuredStudy realizes the paper's other §5 future-work direction:
+// "studying overlay DDoS in structured P2P systems [40]". The same
+// agents (20k bogus requests/min each) flood a Chord ring whose nodes
+// have the same per-peer capacity as the unstructured simulator's
+// peers. A DHT lookup costs O(log n) hops instead of an O(coverage)
+// flood, so the attacker's amplification — and the damage — collapses.
+func StructuredStudy(scale Scale) ([]StructuredPoint, error) {
+	base := scale.baseConfig()
+	out := make([]StructuredPoint, 0, len(scale.AgentCounts))
+	for _, agents := range scale.AgentCounts {
+		// Unstructured reference: undefended flooding system.
+		cfg := base
+		cfg.NumAgents = agents
+		un, err := scale.run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Structured run at matching size, capacity, rates and duration.
+		st, err := runChord(scale, agents)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StructuredPoint{
+			Agents:              agents,
+			UnstructuredSuccess: un.OverallSuccess,
+			StructuredSuccess:   st.success,
+			StructuredMeanHops:  st.meanHops,
+		})
+	}
+	return out, nil
+}
+
+type chordOutcome struct {
+	success  float64
+	meanHops float64
+}
+
+func runChord(scale Scale, agents int) (chordOutcome, error) {
+	src := rng.New(scale.Seed)
+	ccfg := chord.DefaultConfig()
+	ccfg.CapacityPerMin = capacity.EffectiveForwardPerMin
+	ring, err := chord.New(scale.NumPeers, ccfg, src.Split())
+	if err != nil {
+		return chordOutcome{}, err
+	}
+	agentIDs := src.Perm(scale.NumPeers)[:agents]
+	good := src.Split()
+	bogus := src.Split()
+	const goodPerMin = 0.3
+	agentPerTick := capacity.BadPeerIssuePerMin / 60
+	var issued, ok uint64
+	for t := 0; t < scale.DurationSec; t++ {
+		ring.Tick()
+		if t >= scale.AttackStartSec {
+			for _, a := range agentIDs {
+				for i := 0; i < agentPerTick; i++ {
+					ring.Lookup(a, chord.NodeID(bogus.Uint64()))
+				}
+			}
+		}
+		n := good.Poisson(goodPerMin / 60 * float64(scale.NumPeers))
+		for i := 0; i < n; i++ {
+			issued++
+			if res := ring.Lookup(good.Intn(scale.NumPeers), chord.NodeID(good.Uint64())); res.OK {
+				ok++
+			}
+		}
+	}
+	outcome := chordOutcome{meanHops: ring.Stats().MeanHops}
+	if issued > 0 {
+		outcome.success = float64(ok) / float64(issued)
+	}
+	return outcome, nil
+}
