@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench telemetry
+
+# ci is the gate: static checks, full build, full tests, then a short
+# race pass over the packages with real concurrency (the live TCP node
+# and the parallel replica runner).
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race pass is scoped to the concurrency-heavy suites so ci stays
+# fast: gnet's monitor/telemetry tests exercise transient dials and the
+# registry from many goroutines; sim's merge/telemetry tests cover the
+# parallel replica fan-out.
+race:
+	$(GO) test -race -run 'Telemetry|Monitor|Evaluation|Duplicate|MergeResults|Averaged|Parallel' ./internal/gnet/ ./internal/sim/
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+telemetry:
+	$(GO) run ./cmd/ddexp -fig table1 -telemetry

@@ -7,9 +7,11 @@ package ddpolice
 
 import (
 	"testing"
+	"time"
 
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/rng"
+	"ddpolice/internal/sim"
 )
 
 // BenchmarkTable1NeighborTrafficCodec measures encoding+decoding the
@@ -180,5 +182,36 @@ func BenchmarkCheatingStrategies(b *testing.B) {
 		if len(pts) != 4 {
 			b.Fatalf("rows = %d, want 4 strategies", len(pts))
 		}
+	}
+}
+
+// BenchmarkSimStageBreakdown runs one defended-attack simulation per
+// iteration with run telemetry on and reports where the wall-clock
+// goes, stage by stage, as <stage>-ns/op custom metrics alongside the
+// usual ns/op.
+func BenchmarkSimStageBreakdown(b *testing.B) {
+	scale := QuickScale()
+	cfg := sim.DefaultConfig()
+	cfg.Seed = scale.Seed
+	cfg.NumPeers = scale.NumPeers
+	cfg.DurationSec = scale.DurationSec
+	cfg.AttackStartSec = scale.AttackStartSec
+	cfg.NumAgents = scale.TimelineAgents
+	cfg.PoliceEnabled = true
+	cfg.Telemetry = true
+	totals := make(map[string]time.Duration)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range r.Stages {
+			totals[st.Name] += st.Total
+		}
+	}
+	b.StopTimer()
+	for _, name := range sim.StageNames {
+		b.ReportMetric(float64(totals[name].Nanoseconds())/float64(b.N), name+"-ns/op")
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"ddpolice"
 	"ddpolice/internal/protocol"
+	"ddpolice/internal/telemetry"
 )
 
 func main() {
@@ -27,7 +28,26 @@ func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	svgDir := flag.String("svg", "", "also render one SVG per figure into this directory")
+	telemetryFlag := flag.Bool("telemetry", false, "run the telemetry study and print per-stage timing tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	tracePath := flag.String("trace", "", "write an execution trace to this file (go tool trace)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		deferCleanup(stop)
+	}
+	if *tracePath != "" {
+		stop, err := telemetry.StartTrace(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		deferCleanup(stop)
+	}
+	defer runCleanups()
 	for _, dir := range []string{*csvDir, *svgDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -124,10 +144,33 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *telemetryFlag {
+		if err := printTelemetryStudy(scale); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// cleanups holds profile/trace stop functions. fatal exits with
+// os.Exit, which skips deferred calls, so both the normal return path
+// and fatal drain this list — otherwise a failed figure would leave a
+// truncated pprof file behind.
+var cleanups []func() error
+
+func deferCleanup(fn func() error) { cleanups = append(cleanups, fn) }
+
+func runCleanups() {
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		if err := cleanups[i](); err != nil {
+			fmt.Fprintln(os.Stderr, "ddexp:", err)
+		}
+	}
+	cleanups = nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ddexp:", err)
+	runCleanups()
 	os.Exit(1)
 }
 
@@ -322,6 +365,27 @@ func printCheatStudy(scale ddpolice.Scale) error {
 			p.Strategy, p.Detections, p.FalseNegatives, p.FalsePositives, p.Success*100)
 	}
 	return w.Flush()
+}
+
+func printTelemetryStudy(scale ddpolice.Scale) error {
+	rows, err := ddpolice.TelemetryStudy(scale)
+	if err != nil {
+		return err
+	}
+	section("Run telemetry: per-stage wall-clock breakdown")
+	for _, row := range rows {
+		fmt.Printf("\n-- %s --\n", row.Label)
+		if err := telemetry.WriteStageTable(os.Stdout, row.Stages); err != nil {
+			return err
+		}
+		if len(row.Counters.Counters) > 0 || len(row.Counters.Gauges) > 0 {
+			fmt.Println()
+			if err := row.Counters.WriteTable(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func printRadiusStudy(scale ddpolice.Scale) error {

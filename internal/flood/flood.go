@@ -20,6 +20,7 @@ package flood
 
 import (
 	"ddpolice/internal/overlay"
+	"ddpolice/internal/telemetry"
 	"ddpolice/internal/topology"
 )
 
@@ -248,6 +249,15 @@ type Engine struct {
 	ov   *overlay.Overlay
 	mode CounterMode
 
+	// Telemetry event counters (nil until AttachTelemetry; nil-safe).
+	// They count BFS events, not fluid weight: one edge traversal per
+	// neighbor considered, one suppression per duplicate arrival, one
+	// drop per saturated-receiver clip.
+	telFloods *telemetry.Counter // floods started (queries + batches)
+	telEdges  *telemetry.Counter // edges traversed (query copies put on a link)
+	telDups   *telemetry.Counter // duplicate suppressions
+	telDrops  *telemetry.Counter // budget (capacity) drop events
+
 	epoch    uint32
 	seen     []uint32  // epoch marks: peer received the query
 	hop      []int32   // first-visit hop count
@@ -273,6 +283,16 @@ func NewEngine(ov *overlay.Overlay) *Engine {
 		delay:  make([]float64, n),
 		mass:   make([]float64, n),
 	}
+}
+
+// AttachTelemetry wires the engine's hot-path event counters into reg
+// under the "flood." prefix. A nil registry detaches (counters become
+// no-ops again).
+func (e *Engine) AttachTelemetry(reg *telemetry.Registry) {
+	e.telFloods = reg.Counter("flood.floods")
+	e.telEdges = reg.Counter("flood.edges_traversed")
+	e.telDups = reg.Counter("flood.dup_suppressed")
+	e.telDrops = reg.Counter("flood.budget_drops")
 }
 
 // SetCounterMode switches the counter accounting plane.
@@ -301,6 +321,7 @@ func (e *Engine) FloodQuery(src PeerID, ttl int, holders []topology.NodeID, budg
 	if ttl <= 0 || !e.ov.Online(src) {
 		return res
 	}
+	e.telFloods.Inc()
 	e.bump()
 	e.seen[src] = e.epoch
 	e.hop[src] = 0
@@ -317,11 +338,13 @@ func (e *Engine) FloodQuery(src PeerID, ttl int, holders []topology.NodeID, budg
 					continue // never send back where it came from
 				}
 				res.QueryMessages++
+				e.telEdges.Inc()
 				if e.seen[v] == e.epoch {
 					// Duplicate copy: wire traffic, but discarded before
 					// the Out_query/In_query monitors count it (the
 					// paper's no-duplication accounting, Fig 2).
 					res.DupMessages++
+					e.telDups.Inc()
 					continue
 				}
 				eid, _ := e.ov.FindEdge(u, v)
@@ -332,6 +355,7 @@ func (e *Engine) FloodQuery(src PeerID, ttl int, holders []topology.NodeID, budg
 				surviving := e.delay[u] >= 0
 				if surviving && budget.arrivalCap(v, eid) < 1 {
 					res.CapacityDrops++
+					e.telDrops.Inc()
 					surviving = false
 				}
 				if surviving {
@@ -389,6 +413,7 @@ func (e *Engine) FloodBatch(src PeerID, entry PeerID, ttl int, weight float64, b
 	if ttl <= 0 || weight <= 0 || !e.ov.Online(src) {
 		return res
 	}
+	e.telFloods.Inc()
 	e.bump()
 	e.seen[src] = e.epoch
 	e.hop[src] = 0
@@ -416,8 +441,10 @@ func (e *Engine) FloodBatch(src PeerID, entry PeerID, ttl int, weight float64, b
 					continue // restricted entry: batch leaves via one neighbor
 				}
 				res.QueryMessages += counted
+				e.telEdges.Inc()
 				if e.seen[v] == e.epoch {
 					res.DupMessages += counted
+					e.telDups.Inc()
 					continue
 				}
 				eid, _ := e.ov.FindEdge(u, v)
@@ -433,6 +460,9 @@ func (e *Engine) FloodBatch(src PeerID, entry PeerID, ttl int, weight float64, b
 					accepted = 0
 				}
 				budget.take(v, eid, accepted)
+				if accepted < surviving {
+					e.telDrops.Inc()
+				}
 				res.CapacityDrops += surviving - accepted
 				e.mass[v] = accepted
 				if accepted > 0 {

@@ -6,6 +6,7 @@ import (
 
 	"ddpolice/internal/overlay"
 	"ddpolice/internal/rng"
+	"ddpolice/internal/telemetry"
 	"ddpolice/internal/topology"
 )
 
@@ -454,4 +455,48 @@ func TestFairShareRefill(t *testing.T) {
 	if got := budget.arrivalCap(0, eid); got != 10 {
 		t.Fatalf("per-link share after refill = %v, want 10", got)
 	}
+}
+
+func TestEngineTelemetryCounters(t *testing.T) {
+	// Triangle 0-1-2: one flood from 0 traverses 4 edges at TTL 2
+	// (0->1, 0->2, then 1<->2 duplicates) and suppresses 2 duplicates.
+	b := topology.NewBuilder(3)
+	for _, e := range [][2]topology.NodeID{{0, 1}, {1, 2}, {0, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ov := overlay.New(b.Build())
+	eng := NewEngine(ov)
+	reg := telemetry.New()
+	eng.AttachTelemetry(reg)
+
+	eng.FloodQuery(0, 2, nil, bigBudget(3), DelayModel{HopDelay: 0.05})
+	if got := reg.Counter("flood.floods").Load(); got != 1 {
+		t.Errorf("floods = %d, want 1", got)
+	}
+	if got := reg.Counter("flood.edges_traversed").Load(); got != 4 {
+		t.Errorf("edges = %d, want 4", got)
+	}
+	if got := reg.Counter("flood.dup_suppressed").Load(); got != 2 {
+		t.Errorf("dups = %d, want 2", got)
+	}
+	if got := reg.Counter("flood.budget_drops").Load(); got != 0 {
+		t.Errorf("drops = %d, want 0 with a large budget", got)
+	}
+
+	// A starving budget records drop events (batch plane too).
+	eng.FloodQuery(0, 2, nil, NewBudget(3, 0), DelayModel{HopDelay: 0.05})
+	if got := reg.Counter("flood.budget_drops").Load(); got == 0 {
+		t.Error("no drop events under a zero budget")
+	}
+	before := reg.Counter("flood.floods").Load()
+	eng.FloodBatch(0, -1, 2, 100, bigBudget(3))
+	if got := reg.Counter("flood.floods").Load(); got != before+1 {
+		t.Errorf("batch flood not counted: %d", got)
+	}
+
+	// Detach: recording must stop, not crash.
+	eng.AttachTelemetry(nil)
+	eng.FloodQuery(0, 2, nil, bigBudget(3), DelayModel{HopDelay: 0.05})
 }

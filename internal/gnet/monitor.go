@@ -31,7 +31,18 @@ type monitor struct {
 
 type evaluation struct {
 	suspect int32
+	// own is the observer's report about the suspect, snapshotted from
+	// the window that triggered the evaluation. The verdict fires half
+	// a window later and may land after closeMinute has rolled the
+	// windows; recomputing from prevOut/prevIn at that point would
+	// compare the members' flood-window reports against the observer's
+	// quiet new window and miss sustained floods.
+	own     police.Report
 	reports []police.Report
+	// sources dedups reports per evaluation: a member reachable both
+	// directly and over a transient dial (or an unsolicited third
+	// party) must count once, not inflate k and skew g(j,t).
+	sources map[[4]byte]struct{}
 	missing int
 }
 
@@ -160,7 +171,11 @@ func (m *monitor) startEvaluation(suspect int32) {
 	if !ok {
 		return // no buddy-group view yet: defer (paper step 1 is a prerequisite)
 	}
-	ev := &evaluation{suspect: suspect}
+	ev := &evaluation{
+		suspect: suspect,
+		own:     police.Report{Out: m.prevOut[suspect], In: m.prevIn[suspect]},
+		sources: make(map[[4]byte]struct{}),
+	}
 	m.pending[suspect] = ev
 	nt := protocol.NeighborTraffic{
 		SourceIP:  protocol.AddrFromNodeID(m.n.cfg.NodeID, 0).IP,
@@ -200,29 +215,35 @@ func (m *monitor) startEvaluation(suspect int32) {
 func (m *monitor) transientNT(member protocol.PeerAddr, wire []byte) {
 	host, _, err := net.SplitHostPort(m.n.Addr())
 	if err != nil {
+		m.n.tel.transientErr.Inc()
 		return
 	}
 	addr := net.JoinHostPort(host, fmt.Sprint(member.Port))
 	conn, err := dialHandshake(addr, m.n.Addr(), m.n.cfg.NodeID, true)
 	if err != nil {
+		m.n.tel.transientErr.Inc()
 		return
 	}
 	defer conn.Close()
 	// Consume the handshake acknowledgement before the binary stream.
 	if _, _, err := readPeerIdentity(conn); err != nil {
+		m.n.tel.transientErr.Inc()
 		return
 	}
 	conn.SetDeadline(time.Now().Add(m.n.cfg.MinuteLength))
 	if _, err := conn.Write(wire); err != nil {
+		m.n.tel.transientErr.Inc()
 		return
 	}
 	// Read one reply message.
 	sr := protocol.NewStreamReader(conn, 4096)
 	msg, err := sr.Next()
 	if err != nil {
+		m.n.tel.transientErr.Inc()
 		return
 	}
 	if nt, ok := msg.Body.(protocol.NeighborTraffic); ok {
+		m.n.tel.transientOK.Inc()
 		select {
 		case m.n.ctl <- func() { m.recordReport(nt) }:
 		case <-m.n.closed:
@@ -265,6 +286,10 @@ func (m *monitor) recordReport(nt protocol.NeighborTraffic) {
 	if !ok {
 		return
 	}
+	if _, dup := ev.sources[nt.SourceIP]; dup {
+		return // one vote per buddy-group member, whatever the channel
+	}
+	ev.sources[nt.SourceIP] = struct{}{}
 	ev.reports = append(ev.reports, police.Report{
 		Out: float64(nt.Outgoing),
 		In:  float64(nt.Incoming),
@@ -286,8 +311,7 @@ func (m *monitor) finishEvaluation(suspect int32) {
 	if !connected {
 		return
 	}
-	own := police.Report{Out: m.prevOut[suspect], In: m.prevIn[suspect]}
-	g, s, _ := police.ComputeIndicators(m.cfg.Q0, own, ev.reports, ev.missing)
+	g, s, _ := police.ComputeIndicators(m.cfg.Q0, ev.own, ev.reports, ev.missing)
 	if g <= m.cfg.CutThreshold && s <= m.cfg.CutThreshold {
 		return
 	}

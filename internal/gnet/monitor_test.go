@@ -1,0 +1,223 @@
+package gnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ddpolice/internal/police"
+	"ddpolice/internal/protocol"
+	"ddpolice/internal/telemetry"
+)
+
+// runOnLoop executes fn on n's run-loop goroutine and waits for it, so
+// tests can drive monitor state deterministically (window rolls and
+// verdicts are ordered exactly as the bug scenarios require).
+func runOnLoop(t *testing.T, n *Node, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	select {
+	case n.ctl <- func() { fn(); close(done) }:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ctl enqueue timeout")
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ctl run timeout")
+	}
+}
+
+// policePair builds observer -> suspect over real TCP with DD-POLICE on
+// both, a MinuteLength long enough that no timer fires during the test,
+// and waits until the observer holds the suspect's neighbor list.
+func policePair(t *testing.T, reg *telemetry.Registry) (observer, suspect *Node) {
+	t.Helper()
+	pcfg := police.DefaultConfig()
+	pcfg.Q0 = 10
+	pcfg.WarnThreshold = 50
+	pcfg.CutThreshold = 5
+	mutate := func(cfg *Config) {
+		cfg.Police = &pcfg
+		cfg.MinuteLength = time.Hour // tests roll windows by hand
+		cfg.Telemetry = reg
+	}
+	observer = newTestNode(t, "observer", 1, mutate)
+	suspect = newTestNode(t, "suspect", 2, mutate)
+	if err := observer.Connect(suspect.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		have := false
+		runOnLoop(t, observer, func() {
+			_, have = observer.monitor.lists[2]
+		})
+		return have
+	}, "observer received the suspect's neighbor list")
+	return observer, suspect
+}
+
+// TestEvaluationSurvivesWindowRoll is the regression test for the
+// stale-window verdict bug: the half-window AfterFunc can fire after
+// closeMinute rolls the windows, and the verdict used to recompute the
+// observer's own report from the rolled (quiet) window — missing a
+// sustained flood. The evaluation must carry the flood window's
+// snapshot instead.
+func TestEvaluationSurvivesWindowRoll(t *testing.T) {
+	observer, _ := policePair(t, nil)
+	m := observer.monitor
+
+	// Flood window: the suspect sent 1000 queries this minute.
+	runOnLoop(t, observer, func() {
+		m.curIn[2] = 1000
+		m.closeMinute() // rolls the window, starts the evaluation
+		if _, ok := m.pending[2]; !ok {
+			t.Error("no evaluation started for the flooding neighbor")
+		}
+	})
+	// The next minute closes (quiet window) BEFORE the verdict fires.
+	runOnLoop(t, observer, func() { m.closeMinute() })
+	// Verdict, one window-roll late.
+	runOnLoop(t, observer, func() { m.finishEvaluation(2) })
+
+	cut := false
+	for _, d := range observer.Stats().Disconnects {
+		if d.Code == protocol.ByeCodeDDoSSuspect {
+			cut = true
+			if d.General <= 5 {
+				t.Errorf("g = %v at cut time, want > CT", d.General)
+			}
+		}
+	}
+	if !cut {
+		t.Fatal("verdict after a window roll missed the flooding neighbor")
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(observer.Neighbors()) == 0 }, "suspect dropped")
+}
+
+// TestDuplicateReportsCountOnce is the regression test for report
+// double-counting: a buddy-group member that answers on both the direct
+// link and a transient dial (or an unsolicited third party repeating
+// itself) must contribute one report, not inflate k and skew g(j,t).
+func TestDuplicateReportsCountOnce(t *testing.T) {
+	observer, _ := policePair(t, nil)
+	m := observer.monitor
+
+	runOnLoop(t, observer, func() {
+		// Buddy-group view of suspect 2: two members besides us, both
+		// unreachable (port 1), so all reports arrive via recordReport.
+		m.lists[2] = []protocol.PeerAddr{
+			protocol.AddrFromNodeID(1, 0), // the observer itself: skipped
+			protocol.AddrFromNodeID(8, 1),
+			protocol.AddrFromNodeID(9, 1),
+		}
+		m.prevIn[2] = 1000
+		m.startEvaluation(2)
+	})
+
+	nt := protocol.NeighborTraffic{
+		SourceIP:  protocol.AddrFromNodeID(8, 0).IP,
+		SuspectIP: protocol.AddrFromNodeID(2, 0).IP,
+		Outgoing:  5,
+		Incoming:  400,
+	}
+	var reports, missing int
+	runOnLoop(t, observer, func() {
+		m.recordReport(nt)
+		m.recordReport(nt) // same member again over a second channel
+		if ev, ok := m.pending[2]; ok {
+			reports = len(ev.reports)
+			missing = ev.missing
+		} else {
+			t.Error("evaluation vanished")
+		}
+	})
+	if reports != 1 {
+		t.Errorf("reports = %d after duplicate Neighbor_Traffic, want 1", reports)
+	}
+	if missing != 1 {
+		t.Errorf("missing = %d, want 1 (only one distinct member answered)", missing)
+	}
+
+	// A distinct member still counts.
+	nt2 := nt
+	nt2.SourceIP = protocol.AddrFromNodeID(9, 0).IP
+	runOnLoop(t, observer, func() {
+		m.recordReport(nt2)
+		if ev, ok := m.pending[2]; ok {
+			reports = len(ev.reports)
+			missing = ev.missing
+		}
+	})
+	if reports != 2 || missing != 0 {
+		t.Errorf("after second member: reports = %d, missing = %d, want 2, 0", reports, missing)
+	}
+}
+
+// TestTelemetryConcurrentTransientDials exercises the gnet telemetry
+// hooks from every goroutine that records them — transient dial
+// failures, handshake failures, inbox high-water, send stalls — while
+// another goroutine snapshots the registry. Run under -race by the CI
+// target.
+func TestTelemetryConcurrentTransientDials(t *testing.T) {
+	reg := telemetry.New()
+	observer, suspect := policePair(t, reg)
+	m := observer.monitor
+
+	// Members advertising dead ports: every evaluation round spawns
+	// concurrent transient dials that fail and must count.
+	runOnLoop(t, observer, func() {
+		m.lists[7] = []protocol.PeerAddr{
+			protocol.AddrFromNodeID(8, 1),
+			protocol.AddrFromNodeID(9, 1),
+			protocol.AddrFromNodeID(10, 1),
+			protocol.AddrFromNodeID(11, 1),
+		}
+	})
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		runOnLoop(t, observer, func() {
+			m.prevIn[7] = 1000
+			m.startEvaluation(7)
+		})
+	}
+
+	// Concurrent wire traffic driving inbox/send counters.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				suspect.SendRawQuery(fmt.Sprintf("load-%d-%d", w, i))
+			}
+		}(w)
+	}
+	// A failed outbound handshake must count too.
+	if err := observer.Connect("127.0.0.1:1"); err == nil {
+		t.Error("connect to a dead port succeeded")
+	}
+	wg.Wait()
+
+	waitFor(t, 5*time.Second, func() bool {
+		snap := reg.Snapshot()
+		vals := map[string]uint64{}
+		for _, c := range snap.Counters {
+			vals[c.Name] = c.Value
+		}
+		return vals["gnet.transient_dial_errors"] >= rounds*4 &&
+			vals["gnet.handshake_failures"] >= 1
+	}, "telemetry counters converged")
+
+	snap := reg.Snapshot()
+	var hwm int64
+	for _, g := range snap.Gauges {
+		if g.Name == "gnet.inbox_high_water" {
+			hwm = g.Value
+		}
+	}
+	if hwm < 1 {
+		t.Errorf("inbox high-water mark = %d, want >= 1 under load", hwm)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"ddpolice/internal/police"
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/rng"
+	"ddpolice/internal/telemetry"
 )
 
 // handshake strings (Gnutella 0.6 flavor).
@@ -61,6 +62,12 @@ type Config struct {
 	// MinuteLength shortens the monitoring window for tests; defaults
 	// to one minute.
 	MinuteLength time.Duration
+	// Telemetry, when non-nil, receives the node's operational
+	// counters (under the "gnet." prefix): inbox depth high-water
+	// mark, send-queue stalls, handshake failures, transient-dial
+	// errors. Several nodes may share one registry; their counts
+	// aggregate. Nil disables recording at no measurable cost.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns a node config matching the paper's testbed.
@@ -121,7 +128,21 @@ type Node struct {
 	stats   Stats
 	statsMu sync.Mutex
 
+	tel nodeTelemetry
+
 	monitor *monitor
+}
+
+// nodeTelemetry holds the node's resolved telemetry instruments. All
+// fields are nil when Config.Telemetry is nil; recording through them
+// is then a nil-check no-op, so the hot paths below never branch on
+// whether telemetry is enabled.
+type nodeTelemetry struct {
+	inboxHWM      *telemetry.Gauge   // deepest observed inbox backlog
+	sendStalls    *telemetry.Counter // sends dropped on a full peer queue
+	handshakeFail *telemetry.Counter // failed inbound/outbound handshakes
+	transientErr  *telemetry.Counter // transient Neighbor_Traffic dials that died
+	transientOK   *telemetry.Counter // transient dials that returned a report
 }
 
 // inboundMsg is one decoded message plus its source connection.
@@ -177,6 +198,13 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	for _, obj := range cfg.SharedObjects {
 		n.shared[obj] = true
+	}
+	n.tel = nodeTelemetry{
+		inboxHWM:      cfg.Telemetry.Gauge("gnet.inbox_high_water"),
+		sendStalls:    cfg.Telemetry.Counter("gnet.send_queue_stalls"),
+		handshakeFail: cfg.Telemetry.Counter("gnet.handshake_failures"),
+		transientErr:  cfg.Telemetry.Counter("gnet.transient_dial_errors"),
+		transientOK:   cfg.Telemetry.Counter("gnet.transient_reports"),
 	}
 	if cfg.Police != nil {
 		if err := cfg.Police.Validate(); err != nil {
@@ -242,10 +270,12 @@ func (n *Node) Neighbors() []int32 {
 func (n *Node) Connect(addr string) error {
 	conn, err := dialHandshake(addr, n.Addr(), n.cfg.NodeID, false)
 	if err != nil {
+		n.tel.handshakeFail.Inc()
 		return err
 	}
 	id, raddr, err := readPeerIdentity(conn)
 	if err != nil {
+		n.tel.handshakeFail.Inc()
 		conn.Close()
 		return err
 	}
@@ -370,6 +400,7 @@ func (n *Node) acceptLoop() {
 		go func() {
 			id, remote, transient, err := n.serverHandshake(conn)
 			if err != nil {
+				n.tel.handshakeFail.Inc()
 				conn.Close()
 				return
 			}
@@ -419,6 +450,7 @@ func (pc *peerConn) send(wire []byte) bool {
 	case pc.sendCh <- wire:
 		return true
 	default:
+		pc.node.tel.sendStalls.Inc()
 		return false
 	}
 }
@@ -460,6 +492,7 @@ func (pc *peerConn) readLoop() {
 		n.statsMu.Unlock()
 		select {
 		case n.inbox <- inboundMsg{from: pc, msg: msg}:
+			n.tel.inboxHWM.SetMax(int64(len(n.inbox)))
 		case <-n.done:
 			return
 		}

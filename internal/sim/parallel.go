@@ -3,6 +3,10 @@ package sim
 import (
 	"runtime"
 	"sync"
+
+	"ddpolice/internal/metrics"
+	"ddpolice/internal/overlay"
+	"ddpolice/internal/telemetry"
 )
 
 // RunParallel executes the given configurations concurrently, bounded
@@ -52,7 +56,22 @@ func Averaged(cfg Config, seeds []uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return mergeResults(rs), nil
+}
+
+// mergeResults averages rs into a fresh Result without modifying any
+// input: the accumulator deep-copies every slice field first, so the
+// first seed's series are not mutated in place.
+func mergeResults(rs []*Result) *Result {
 	out := *rs[0]
+	out.Minutes = append([]metrics.MinuteStats(nil), rs[0].Minutes...)
+	out.SuccessSeries = append([]float64(nil), rs[0].SuccessSeries...)
+	out.AgentIDs = append([]overlay.PeerID(nil), rs[0].AgentIDs...)
+	out.Stages = append([]telemetry.Stage(nil), rs[0].Stages...)
+	if rs[0].Telemetry != nil {
+		snap := rs[0].Telemetry.Clone()
+		out.Telemetry = &snap
+	}
 	n := float64(len(rs))
 	for _, r := range rs[1:] {
 		out.OverallSuccess += r.OverallSuccess
@@ -82,7 +101,7 @@ func Averaged(cfg Config, seeds []uint64) (*Result, error) {
 	for i := range out.SuccessSeries {
 		out.SuccessSeries[i] /= n
 	}
-	return &out, nil
+	return &out
 }
 
 func roundDiv(sum int, n float64) int {

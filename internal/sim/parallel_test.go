@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ddpolice/internal/metrics"
+	"ddpolice/internal/overlay"
+	"ddpolice/internal/telemetry"
+	"time"
+)
+
+// TestMergeResultsLeavesInputsUnmodified is the regression test for the
+// Averaged aliasing bug: the accumulator used to start from a shallow
+// copy of rs[0], so averaging SuccessSeries element-wise mutated the
+// first seed's underlying array in place.
+func TestMergeResultsLeavesInputsUnmodified(t *testing.T) {
+	first := &Result{
+		SuccessSeries:  []float64{1, 1, 1},
+		Minutes:        []metrics.MinuteStats{{Issued: 10, Succeeded: 10}},
+		AgentIDs:       []overlay.PeerID{7},
+		OverallSuccess: 1,
+		Detections:     4,
+		Stages:         []telemetry.Stage{{Name: "flood", Total: time.Second, Count: 3}},
+		Telemetry:      &telemetry.Snapshot{Counters: []telemetry.CounterValue{{Name: "flood.floods", Value: 9}}},
+	}
+	second := &Result{
+		SuccessSeries:  []float64{0, 0, 0},
+		Minutes:        []metrics.MinuteStats{{Issued: 10, Succeeded: 0}},
+		AgentIDs:       []overlay.PeerID{7},
+		OverallSuccess: 0,
+		Detections:     2,
+	}
+	wantSeries := append([]float64(nil), first.SuccessSeries...)
+	wantMinutes := append([]metrics.MinuteStats(nil), first.Minutes...)
+
+	merged := mergeResults([]*Result{first, second})
+
+	if !reflect.DeepEqual(first.SuccessSeries, wantSeries) {
+		t.Errorf("merge mutated rs[0].SuccessSeries: %v", first.SuccessSeries)
+	}
+	if !reflect.DeepEqual(first.Minutes, wantMinutes) {
+		t.Errorf("merge mutated rs[0].Minutes: %v", first.Minutes)
+	}
+	if got := merged.SuccessSeries; !reflect.DeepEqual(got, []float64{0.5, 0.5, 0.5}) {
+		t.Errorf("merged series = %v, want element-wise mean", got)
+	}
+	if merged.Detections != 3 {
+		t.Errorf("merged detections = %d, want rounded mean 3", merged.Detections)
+	}
+
+	// The merged result must not alias any input storage either:
+	// mutating it afterwards must leave the inputs intact.
+	merged.SuccessSeries[0] = -1
+	merged.Minutes[0].Issued = -1
+	merged.AgentIDs[0] = -1
+	merged.Stages[0].Count = 99
+	merged.Telemetry.Counters[0].Value = 99
+	if first.SuccessSeries[0] != 1 || first.Minutes[0].Issued != 10 || first.AgentIDs[0] != 7 {
+		t.Error("merged result aliases the first input's slices")
+	}
+	if first.Stages[0].Count != 3 || first.Telemetry.Counters[0].Value != 9 {
+		t.Error("merged result aliases the first input's telemetry")
+	}
+}
+
+// TestAveragedMatchesSingleRuns checks Averaged end-to-end on real (tiny)
+// runs: deterministic per-seed results, averaged scalars, and no
+// corruption across repeated calls with the same seeds.
+func TestAveragedMatchesSingleRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumPeers = 200
+	cfg.DurationSec = 120
+	cfg.Catalog.NumObjects = 500
+	seeds := []uint64{1, 2}
+
+	singles := make([]*Result, len(seeds))
+	for i, s := range seeds {
+		c := cfg
+		c.Seed = s
+		r, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles[i] = r
+	}
+	avg, err := Averaged(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (singles[0].OverallSuccess + singles[1].OverallSuccess) / 2
+	if diff := avg.OverallSuccess - want; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("averaged success = %v, want %v", avg.OverallSuccess, want)
+	}
+	for i := range avg.SuccessSeries {
+		want := (singles[0].SuccessSeries[i] + singles[1].SuccessSeries[i]) / 2
+		if diff := avg.SuccessSeries[i] - want; diff < -1e-9 || diff > 1e-9 {
+			t.Errorf("minute %d: averaged S(t) = %v, want %v", i, avg.SuccessSeries[i], want)
+		}
+	}
+	// A second averaged call must reproduce the first exactly (no state
+	// leaked between calls through shared arrays).
+	again, err := Averaged(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(avg.SuccessSeries, again.SuccessSeries) {
+		t.Errorf("Averaged is not repeatable: %v vs %v", avg.SuccessSeries, again.SuccessSeries)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ddpolice/internal/overlay"
 	"ddpolice/internal/police"
 	"ddpolice/internal/rng"
+	"ddpolice/internal/telemetry"
 	"ddpolice/internal/topology"
 	"ddpolice/internal/workload"
 )
@@ -81,6 +82,12 @@ type Config struct {
 	// Events, when non-nil, receives a JSON-lines structured log of the
 	// run (see Event).
 	Events io.Writer
+
+	// Telemetry enables the run observability layer: cumulative
+	// per-stage wall-clock timers for each tick stage (Result.Stages)
+	// and the flood engine's event counters (Result.Telemetry). Off by
+	// default; when off the instrumentation sites reduce to nil checks.
+	Telemetry bool
 }
 
 // DefaultSimTTL is the flood TTL used by the scaled-down experiments.
@@ -192,7 +199,27 @@ type Result struct {
 	// Attack-side accounting.
 	AgentIDs     []overlay.PeerID
 	AttackVolume float64 // bogus query messages put on the wire
+
+	// Telemetry (nil unless Config.Telemetry): cumulative wall clock
+	// per tick stage, in StageNames order, and the run's counter
+	// snapshot (flood engine event counters).
+	Stages    []telemetry.Stage
+	Telemetry *telemetry.Snapshot
 }
+
+// Tick stages timed when Config.Telemetry is set, in StageNames order.
+const (
+	StageChurn    = iota // churn + police join/leave notifications
+	StageAttack          // agent batch floods (both half-tick slices)
+	StageQueryGen        // online scan + good-peer query generation
+	StageFlood           // good-peer query flood propagation
+	StagePolice          // DD-POLICE Tick and minute evaluation
+	StageMetrics         // minute close: collection, events, loss derivation
+	numStages
+)
+
+// StageNames labels the tick stages, indexed by the Stage constants.
+var StageNames = []string{"churn", "attack", "querygen", "flood", "police", "metrics"}
 
 // Run executes one simulation and returns its result.
 func Run(cfg Config) (*Result, error) {
@@ -253,6 +280,15 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.IdealCounters {
 		eng.SetCounterMode(flood.CounterIdeal)
 	}
+	// Observability: nil when disabled, making every Start/Stop and
+	// counter site below a nil-check no-op.
+	var stages *telemetry.StageSet
+	var reg *telemetry.Registry
+	if cfg.Telemetry {
+		stages = telemetry.NewStages(StageNames...)
+		reg = telemetry.New()
+		eng.AttachTelemetry(reg)
+	}
 	budget := flood.NewBudget(cfg.NumPeers, cfg.GoodCapacityPerMin/60)
 	if cfg.FairShareDrop {
 		budget.EnableFairShare(ov)
@@ -291,6 +327,7 @@ func Run(cfg Config) (*Result, error) {
 
 		// 1. Churn, with police notifications derived from the diff.
 		if churn != nil {
+			t0 := stages.Start()
 			churn.Tick(1)
 			if pol != nil {
 				for v := range prevOnline {
@@ -306,6 +343,7 @@ func Run(cfg Config) (*Result, error) {
 					}
 				}
 			}
+			stages.Stop(StageChurn, t0)
 		}
 
 		// 1b. Attack onset: the agents join the overlay.
@@ -329,14 +367,17 @@ func Run(cfg Config) (*Result, error) {
 			slices = 2
 		}
 		if attacking {
+			t0 := stages.Start()
 			br := fleet.TickSliced(eng, ov, budget, 0.5, slices/2, 2*t)
 			coll.RecordBatch(br)
 			res.AttackVolume += br.QueryMessages
+			stages.Stop(StageAttack, t0)
 		}
 
 		// 3. Good-peer queries, interleaved mid-tick so they compete
 		// with attack traffic on fair terms rather than always seeing a
 		// drained (or untouched) budget.
+		t0 := stages.Start()
 		onlineBuf = onlineBuf[:0]
 		for v := 0; v < cfg.NumPeers; v++ {
 			if ov.Online(overlay.PeerID(v)) {
@@ -344,32 +385,42 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		queryBuf = qgen.Tick(onlineBuf, 1, queryBuf[:0])
+		stages.Stop(StageQueryGen, t0)
+		t0 = stages.Start()
 		for _, q := range queryBuf {
 			qr := eng.FloodQuery(q.Issuer, cfg.TTL, cat.Holders(q.Object), budget, cfg.Delay)
 			coll.RecordQuery(qr)
 		}
+		stages.Stop(StageFlood, t0)
 
 		// 3b. Second half of the attack volume.
 		if attacking {
+			t0 = stages.Start()
 			br := fleet.TickSliced(eng, ov, budget, 0.5, slices-slices/2, 2*t+1)
 			coll.RecordBatch(br)
 			res.AttackVolume += br.QueryMessages
+			stages.Stop(StageAttack, t0)
 		}
 
 		// 4. DD-POLICE periodic work.
 		if pol != nil {
+			t0 = stages.Start()
 			pol.Tick(now)
+			stages.Stop(StagePolice, t0)
 		}
 
 		// 5. Minute boundary: close counters, evaluate, collect.
 		if (t+1)%60 == 0 {
 			ov.RollMinute()
 			if pol != nil {
+				t0 = stages.Start()
 				pol.EvaluateMinute(now + 1)
+				stages.Stop(StagePolice, t0)
 				oh := pol.Overhead().Total()
 				coll.AddControl(float64(oh - overheadAt))
 				overheadAt = oh
 			}
+			t0 = stages.Start()
 			coll.SetOnline(len(onlineBuf))
 			coll.CloseMinute()
 			if events != nil {
@@ -392,6 +443,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 				pol.SetControlLoss(loss, lossSrc)
 			}
+			stages.Stop(StageMetrics, t0)
 		}
 	}
 
@@ -411,6 +463,11 @@ func Run(cfg Config) (*Result, error) {
 		res.FalseNegatives = pol.FalseNegatives()
 		res.FalsePositives = pol.FalsePositives(fleet.IDs())
 		res.Overhead = pol.Overhead()
+	}
+	if cfg.Telemetry {
+		res.Stages = stages.Snapshot()
+		snap := reg.Snapshot()
+		res.Telemetry = &snap
 	}
 	return &res, nil
 }

@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+func TestRunTelemetryStages(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumPeers = 200
+	cfg.DurationSec = 120
+	cfg.Catalog.NumObjects = 500
+	cfg.ChurnEnabled = true
+	cfg.NumAgents = 2
+	cfg.PoliceEnabled = true
+	cfg.Telemetry = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stages) != len(StageNames) {
+		t.Fatalf("stages = %d, want %d", len(r.Stages), len(StageNames))
+	}
+	for i, st := range r.Stages {
+		if st.Name != StageNames[i] {
+			t.Errorf("stage %d = %q, want %q", i, st.Name, StageNames[i])
+		}
+	}
+	byName := map[string]int{}
+	for i, st := range r.Stages {
+		byName[st.Name] = i
+	}
+	// Every instrumented stage ran in this configuration.
+	for _, name := range []string{"churn", "attack", "querygen", "flood", "police", "metrics"} {
+		st := r.Stages[byName[name]]
+		if st.Count == 0 {
+			t.Errorf("stage %q never recorded an interval", name)
+		}
+	}
+	if r.Telemetry == nil {
+		t.Fatal("no telemetry snapshot despite cfg.Telemetry")
+	}
+	counters := map[string]uint64{}
+	for _, c := range r.Telemetry.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["flood.floods"] == 0 || counters["flood.edges_traversed"] == 0 {
+		t.Errorf("flood engine counters empty: %v", counters)
+	}
+	if counters["flood.dup_suppressed"] == 0 {
+		t.Errorf("no duplicate suppressions recorded on a cyclic overlay: %v", counters)
+	}
+}
+
+func TestRunTelemetryDisabledByDefault(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumPeers = 200
+	cfg.DurationSec = 60
+	cfg.Catalog.NumObjects = 500
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stages != nil || r.Telemetry != nil {
+		t.Fatal("telemetry present without cfg.Telemetry")
+	}
+}

@@ -1,0 +1,349 @@
+// Package telemetry is the run observability layer: a lightweight,
+// allocation-conscious registry of counters, gauges and wall-clock
+// timers, plus optional CPU-profile and execution-trace hooks
+// (profile.go).
+//
+// Everything is sync/atomic-based so hot paths — the live gnet run
+// loop, transient-connection goroutines, the simulator tick loop — can
+// record without locks. Every instrument is nil-safe: a nil *Counter,
+// *Gauge, *Timer, *Registry or *StageSet turns every recording call
+// into a nil-check no-op, so "telemetry disabled" costs a predictable
+// branch and nothing else. Instrumented code therefore never guards
+// its recording sites:
+//
+//	var reg *telemetry.Registry // nil: disabled
+//	c := reg.Counter("flood.edges") // nil
+//	c.Inc()                         // no-op
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; a nil Counter discards all updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current count (0 on nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level. SetMax makes it a high-water mark.
+// The zero value is ready; a nil Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// SetMax raises the gauge to n if n exceeds the current value
+// (lock-free high-water mark).
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current level (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates wall-clock durations and an observation count. The
+// zero value is ready; a nil Timer discards all updates.
+type Timer struct {
+	ns atomic.Int64
+	n  atomic.Uint64
+}
+
+// Add folds in one observed duration.
+func (t *Timer) Add(d time.Duration) {
+	if t != nil {
+		t.ns.Add(int64(d))
+		t.n.Add(1)
+	}
+}
+
+// Observe folds in the time elapsed since start (as returned by
+// time.Now at the start of the measured region).
+func (t *Timer) Observe(start time.Time) {
+	if t != nil {
+		t.Add(time.Since(start))
+	}
+}
+
+// Total returns the accumulated duration (0 on nil).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Count returns the number of observations (0 on nil).
+func (t *Timer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.n.Load()
+}
+
+// Registry names and owns a set of instruments. Instrument lookup
+// takes the registry lock; the returned pointers record lock-free, so
+// hot paths resolve their instruments once and keep them. A nil
+// *Registry returns nil instruments from every lookup, which is how
+// "telemetry disabled" propagates through instrumented code.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = new(Timer)
+		r.timers[name] = t
+	}
+	return t
+}
+
+// CounterValue is one named counter reading.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// GaugeValue is one named gauge reading.
+type GaugeValue struct {
+	Name  string
+	Value int64
+}
+
+// TimerValue is one named timer reading.
+type TimerValue struct {
+	Name  string
+	Total time.Duration
+	Count uint64
+}
+
+// Snapshot is a point-in-time reading of every instrument, sorted by
+// name within each kind.
+type Snapshot struct {
+	Counters []CounterValue
+	Gauges   []GaugeValue
+	Timers   []TimerValue
+}
+
+// Snapshot reads every instrument. Safe to call while recording
+// continues; readings are per-instrument atomic. An empty snapshot is
+// returned on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Load()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Load()})
+	}
+	for name, t := range r.timers {
+		s.Timers = append(s.Timers, TimerValue{Name: name, Total: t.Total(), Count: t.Count()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Timers, func(i, j int) bool { return s.Timers[i].Name < s.Timers[j].Name })
+	return s
+}
+
+// Clone deep-copies the snapshot (its slices share no storage with s).
+func (s Snapshot) Clone() Snapshot {
+	return Snapshot{
+		Counters: append([]CounterValue(nil), s.Counters...),
+		Gauges:   append([]GaugeValue(nil), s.Gauges...),
+		Timers:   append([]TimerValue(nil), s.Timers...),
+	}
+}
+
+// WriteTable renders the snapshot as an aligned text table.
+func (s Snapshot) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue")
+		for _, c := range s.Counters {
+			fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "gauge\tvalue")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(tw, "%s\t%d\n", g.Name, g.Value)
+		}
+	}
+	if len(s.Timers) > 0 {
+		fmt.Fprintln(tw, "timer\ttotal\tcount")
+		for _, t := range s.Timers {
+			fmt.Fprintf(tw, "%s\t%v\t%d\n", t.Name, t.Total, t.Count)
+		}
+	}
+	return tw.Flush()
+}
+
+// Stage is one stage's cumulative wall-clock reading.
+type Stage struct {
+	Name  string
+	Total time.Duration
+	Count uint64 // number of timed intervals
+}
+
+// StageSet times a fixed set of named pipeline stages addressed by
+// index, the allocation-free shape of a per-tick instrumentation loop.
+// A nil StageSet no-ops: Start returns the zero time without reading
+// the clock and Stop discards.
+type StageSet struct {
+	names  []string
+	timers []Timer
+}
+
+// NewStages creates a stage set; stage i is names[i].
+func NewStages(names ...string) *StageSet {
+	return &StageSet{names: names, timers: make([]Timer, len(names))}
+}
+
+// Start reads the clock (zero time on nil).
+func (s *StageSet) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop charges the interval since start to stage i.
+func (s *StageSet) Stop(i int, start time.Time) {
+	if s == nil {
+		return
+	}
+	s.timers[i].Add(time.Since(start))
+}
+
+// Snapshot returns the per-stage readings in stage order (nil on a nil
+// set).
+func (s *StageSet) Snapshot() []Stage {
+	if s == nil {
+		return nil
+	}
+	out := make([]Stage, len(s.names))
+	for i, name := range s.names {
+		out[i] = Stage{Name: name, Total: s.timers[i].Total(), Count: s.timers[i].Count()}
+	}
+	return out
+}
+
+// WriteStageTable renders per-stage totals with their share of the
+// summed stage time.
+func WriteStageTable(w io.Writer, stages []Stage) error {
+	var sum time.Duration
+	for _, st := range stages {
+		sum += st.Total
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\ttotal\tshare\tintervals")
+	for _, st := range stages {
+		share := 0.0
+		if sum > 0 {
+			share = float64(st.Total) / float64(sum) * 100
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%.1f%%\t%d\n", st.Name, st.Total, share, st.Count)
+	}
+	fmt.Fprintf(tw, "total\t%v\t\t\n", sum)
+	return tw.Flush()
+}

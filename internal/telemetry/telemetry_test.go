@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every recording call on nil instruments must be a no-op, not a
+	// panic: this is the "telemetry disabled" fast path.
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	tm := r.Timer("x")
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.SetMax(9)
+	tm.Add(time.Second)
+	tm.Observe(time.Now())
+	if c.Load() != 0 || g.Load() != 0 || tm.Total() != 0 || tm.Count() != 0 {
+		t.Fatal("nil instruments retained data")
+	}
+	if snap := r.Snapshot(); len(snap.Counters)+len(snap.Gauges)+len(snap.Timers) != 0 {
+		t.Fatal("nil registry produced a non-empty snapshot")
+	}
+	var s *StageSet
+	start := s.Start()
+	if !start.IsZero() {
+		t.Fatal("nil stage set read the clock")
+	}
+	s.Stop(0, start)
+	if s.Snapshot() != nil {
+		t.Fatal("nil stage set produced stages")
+	}
+}
+
+func TestCounterGaugeTimer(t *testing.T) {
+	r := New()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("events") != c {
+		t.Fatal("lookup did not return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.SetMax(7)
+	g.SetMax(3) // lower: must not regress the high-water mark
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.Set(2)
+	if got := g.Load(); got != 2 {
+		t.Fatalf("gauge = %d after Set, want 2", got)
+	}
+	tm := r.Timer("work")
+	tm.Add(2 * time.Millisecond)
+	tm.Add(3 * time.Millisecond)
+	if got := tm.Total(); got != 5*time.Millisecond {
+		t.Fatalf("timer total = %v", got)
+	}
+	if got := tm.Count(); got != 2 {
+		t.Fatalf("timer count = %d", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	// Exercised under -race by the CI target: many goroutines hammer the
+	// same instruments while another snapshots.
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	tm := r.Timer("t")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(w*per + i))
+				tm.Add(time.Microsecond)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Load(); got != workers*per-1 {
+		t.Fatalf("gauge high-water = %d, want %d", got, workers*per-1)
+	}
+	if got := tm.Count(); got != workers*per {
+		t.Fatalf("timer count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotSortedAndCloned(t *testing.T) {
+	r := New()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	r.Timer("t").Add(time.Millisecond)
+	r.Gauge("g").Set(1)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 2 || snap.Counters[0].Name != "a" || snap.Counters[1].Name != "b" {
+		t.Fatalf("counters not sorted: %+v", snap.Counters)
+	}
+	cl := snap.Clone()
+	cl.Counters[0].Value = 99
+	if snap.Counters[0].Value == 99 {
+		t.Fatal("Clone shares storage with the original")
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter", "a", "gauge", "timer"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestStageSet(t *testing.T) {
+	s := NewStages("alpha", "beta")
+	st := s.Start()
+	time.Sleep(time.Millisecond)
+	s.Stop(0, st)
+	s.Stop(1, s.Start())
+	stages := s.Snapshot()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	if stages[0].Name != "alpha" || stages[0].Total <= 0 || stages[0].Count != 1 {
+		t.Fatalf("alpha stage = %+v", stages[0])
+	}
+	var buf bytes.Buffer
+	if err := WriteStageTable(&buf, stages); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "alpha") || !strings.Contains(buf.String(), "total") {
+		t.Fatalf("stage table:\n%s", buf.String())
+	}
+}
+
+func TestProfileHooks(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for i := 0; i < 1e6; i++ {
+		busy += i
+	}
+	_ = busy
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+
+	tr := filepath.Join(dir, "run.trace")
+	stop, err = StartTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(tr); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+
+	if _, err := StartCPUProfile(filepath.Join(dir, "missing", "x")); err == nil {
+		t.Fatal("profile into missing directory succeeded")
+	}
+}
