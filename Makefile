@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench telemetry
+.PHONY: ci build vet test race chaos bench telemetry
 
 # ci is the gate: static checks, full build, full tests, then a short
 # race pass over the packages with real concurrency (the live TCP node
-# and the parallel replica runner).
-ci: vet build test race
+# and the parallel replica runner), then the chaos pass (fault
+# injection, reconnect supervision, transient-dial recovery).
+ci: vet build test race chaos
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,13 @@ test:
 # parallel replica fan-out.
 race:
 	$(GO) test -race -run 'Telemetry|Monitor|Evaluation|Duplicate|MergeResults|Averaged|Parallel' ./internal/gnet/ ./internal/sim/
+
+# The chaos pass runs the fault-injection suites under the race
+# detector: injected resets with reconnect backoff, cut-vs-crash
+# provenance, goroutine-leak regression, and the 8-node lossy overlay.
+chaos:
+	$(GO) vet ./internal/faults/
+	$(GO) test -race -run 'Chaos|Reconnect|Transient' ./internal/gnet/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

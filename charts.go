@@ -167,3 +167,31 @@ func Fig14SVG(w io.Writer, pts []CTPoint) error {
 		Series: []viz.Series{{Label: "damage recovery time", X: x, Y: y}},
 	})
 }
+
+// FaultsSVG renders the false-judgment surface of the fault-plane
+// study: one curve per churn regime, control loss on the x-axis.
+func FaultsSVG(w io.Writer, pts []FaultPoint) error {
+	series := map[string]*viz.Series{}
+	var order []string
+	for _, p := range pts {
+		s, ok := series[p.Churn]
+		if !ok {
+			s = &viz.Series{Label: "churn: " + p.Churn}
+			series[p.Churn] = s
+			order = append(order, p.Churn)
+		}
+		s.X = append(s.X, p.ControlLoss)
+		s.Y = append(s.Y, float64(p.FalseJudgment))
+	}
+	lo := 0.0
+	c := &viz.Chart{
+		Title:  "Fault plane: false judgments vs control loss",
+		XLabel: "injected control-message loss",
+		YLabel: "false judgments (FN + FP)",
+		YMin:   &lo,
+	}
+	for _, k := range order {
+		c.Series = append(c.Series, *series[k])
+	}
+	return renderChart(w, c)
+}

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
-	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured")
+	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured, faults")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	svgDir := flag.String("svg", "", "also render one SVG per figure into this directory")
 	telemetryFlag := flag.Bool("telemetry", false, "run the telemetry study and print per-stage timing tables")
@@ -116,6 +116,11 @@ func main() {
 	}
 	if want("structured") {
 		if err := printStructuredStudy(scale); err != nil {
+			fatal(err)
+		}
+	}
+	if want("faults") {
+		if err := printFaultsStudy(scale); err != nil {
 			fatal(err)
 		}
 	}
@@ -465,6 +470,24 @@ func printBlacklistStudy(scale ddpolice.Scale) error {
 	fmt.Fprintln(w, "variant\tstable damage (%)\tdetections\tsuccess (%)")
 	for _, p := range pts {
 		fmt.Fprintf(w, "%s\t%.1f\t%d\t%.1f\n", p.Label, p.StableDamage, p.Detections, p.Success*100)
+	}
+	return w.Flush()
+}
+
+func printFaultsStudy(scale ddpolice.Scale) error {
+	pts, err := ddpolice.FaultsStudy(scale, []float64{0, 0.1, 0.2, 0.4})
+	if err != nil {
+		return err
+	}
+	saveCSV("faults_study.csv", func(w *os.File) error { return ddpolice.FaultPointsCSV(w, pts) })
+	saveSVG("faults.svg", func(w *os.File) error { return ddpolice.FaultsSVG(w, pts) })
+	section("Fault plane: judgment quality under control loss x churn")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "control loss\tchurn\tdetections\tFN\tFP\tfalse judgment\tsuccess (%)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%.0f%%\t%s\t%d\t%d\t%d\t%d\t%.1f\n",
+			p.ControlLoss*100, p.Churn, p.Detections,
+			p.FalseNegatives, p.FalsePositives, p.FalseJudgment, p.Success*100)
 	}
 	return w.Flush()
 }

@@ -197,3 +197,18 @@ func StructuredPointsCSV(w io.Writer, pts []StructuredPoint) error {
 	}
 	return writeAll(w, rows)
 }
+
+// FaultPointsCSV renders the fault-plane loss x churn sweep.
+func FaultPointsCSV(w io.Writer, pts []FaultPoint) error {
+	rows := [][]string{{
+		"control_loss", "churn", "detections",
+		"false_negatives", "false_positives", "false_judgment", "success",
+	}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			f(p.ControlLoss), p.Churn, d(p.Detections),
+			d(p.FalseNegatives), d(p.FalsePositives), d(p.FalseJudgment), f(p.Success),
+		})
+	}
+	return writeAll(w, rows)
+}

@@ -6,8 +6,10 @@ import (
 	"strconv"
 	"time"
 
+	"ddpolice/internal/faults"
 	"ddpolice/internal/police"
 	"ddpolice/internal/protocol"
+	"ddpolice/internal/rng"
 )
 
 // monitor is the live DD-POLICE implementation: per-neighbor
@@ -44,7 +46,20 @@ type evaluation struct {
 	// party) must count once, not inflate k and skew g(j,t).
 	sources map[[4]byte]struct{}
 	missing int
+	// deferred marks that the verdict already got its one extra
+	// half-window because every asked buddy was still silent.
+	deferred bool
 }
+
+// transient-dial retry schedule: each member exchange gets
+// transientMaxAttempts tries, backing off transientBaseBackoff·2^k with
+// up to 100% uniform jitter between them. The totals stay well inside
+// the half-window verdict deadline at the default minute length and the
+// shortened test windows alike.
+const (
+	transientMaxAttempts = 3
+	transientBaseBackoff = 25 * time.Millisecond
+)
 
 func newMonitor(n *Node, cfg police.Config) *monitor {
 	return &monitor{
@@ -196,12 +211,25 @@ func (m *monitor) startEvaluation(suspect int32) {
 			pc.send(wire)
 			continue
 		}
-		// Out-of-band: transient dial to the member's advertised port.
-		go m.transientNT(member, wire)
+		// Out-of-band: transient dial to the member's advertised port,
+		// bounded by the node-wide semaphore. A rejected member simply
+		// stays missing — §3.3's timeout-as-zero absorbs it — instead of
+		// growing the goroutine count without limit.
+		select {
+		case m.n.transientSem <- struct{}{}:
+			m.n.wg.Add(1)
+			go m.transientNT(member, wire, m.n.src.Split())
+		default:
+			m.n.tel.transientRejected.Inc()
+		}
 	}
 	ev.missing = asked // members count down as reports arrive
-	window := m.n.cfg.MinuteLength / 2
-	time.AfterFunc(window, func() {
+	m.armVerdict(suspect)
+}
+
+// armVerdict schedules finishEvaluation half a window out.
+func (m *monitor) armVerdict(suspect int32) {
+	time.AfterFunc(m.n.cfg.MinuteLength/2, func() {
 		select {
 		case m.n.ctl <- func() { m.finishEvaluation(suspect) }:
 		case <-m.n.closed:
@@ -209,46 +237,72 @@ func (m *monitor) startEvaluation(suspect int32) {
 	})
 }
 
-// transientNT runs off the run loop: it dials the member, handshakes as
-// a transient channel, sends our report, and forwards the member's
-// answer back into the run loop.
-func (m *monitor) transientNT(member protocol.PeerAddr, wire []byte) {
+// transientNT runs off the run loop on a wg-tracked goroutine holding
+// one transientSem slot: up to transientMaxAttempts dial-and-exchange
+// tries with exponential backoff + jitter between them. src is this
+// goroutine's private stream, split off the run-loop source by the
+// caller (rng.Source is not concurrency-safe).
+func (m *monitor) transientNT(member protocol.PeerAddr, wire []byte, src *rng.Source) {
+	n := m.n
+	defer n.wg.Done()
+	defer func() { <-n.transientSem }()
+	backoff := transientBaseBackoff
+	for attempt := 0; attempt < transientMaxAttempts; attempt++ {
+		if attempt > 0 {
+			n.tel.transientRetries.Inc()
+			delay := backoff + time.Duration(src.Float64()*float64(backoff))
+			backoff *= 2
+			select {
+			case <-time.After(delay):
+			case <-n.done:
+				return
+			}
+		}
+		if m.transientAttempt(member, wire) {
+			return
+		}
+		n.tel.transientErr.Inc()
+	}
+}
+
+// transientAttempt is one dial-handshake-exchange round; it reports
+// whether a Neighbor_Traffic reply made it back to the run loop. Each
+// attempt is individually deadlined to half a monitoring window — the
+// verdict fires then, so a slower reply could never count anyway.
+func (m *monitor) transientAttempt(member protocol.PeerAddr, wire []byte) bool {
 	host, _, err := net.SplitHostPort(m.n.Addr())
 	if err != nil {
-		m.n.tel.transientErr.Inc()
-		return
+		return false
 	}
 	addr := net.JoinHostPort(host, fmt.Sprint(member.Port))
-	conn, err := dialHandshake(addr, m.n.Addr(), m.n.cfg.NodeID, true)
+	conn, _, _, err := m.n.dialPeer(addr, true)
 	if err != nil {
-		m.n.tel.transientErr.Inc()
-		return
+		return false
 	}
 	defer conn.Close()
-	// Consume the handshake acknowledgement before the binary stream.
-	if _, _, err := readPeerIdentity(conn); err != nil {
-		m.n.tel.transientErr.Inc()
-		return
-	}
-	conn.SetDeadline(time.Now().Add(m.n.cfg.MinuteLength))
+	// The out-of-band channel fails like any other: wrap it in the same
+	// fault plane the neighbor links live under.
+	conn = faults.Wrap(conn, m.n.cfg.Faults, m.n.cfg.NodeID, member.NodeID(), classifyFrame)
+	conn.SetDeadline(time.Now().Add(m.n.cfg.MinuteLength / 2))
 	if _, err := conn.Write(wire); err != nil {
-		m.n.tel.transientErr.Inc()
-		return
+		return false
 	}
 	// Read one reply message.
 	sr := protocol.NewStreamReader(conn, 4096)
 	msg, err := sr.Next()
 	if err != nil {
-		m.n.tel.transientErr.Inc()
-		return
+		return false
 	}
-	if nt, ok := msg.Body.(protocol.NeighborTraffic); ok {
-		m.n.tel.transientOK.Inc()
-		select {
-		case m.n.ctl <- func() { m.recordReport(nt) }:
-		case <-m.n.closed:
-		}
+	nt, ok := msg.Body.(protocol.NeighborTraffic)
+	if !ok {
+		return false
 	}
+	m.n.tel.transientOK.Inc()
+	select {
+	case m.n.ctl <- func() { m.recordReport(nt) }:
+	case <-m.n.closed:
+	}
+	return true
 }
 
 // onNeighborTraffic handles an incoming Table 1 message: answer with
@@ -306,6 +360,18 @@ func (m *monitor) finishEvaluation(suspect int32) {
 	if !ok {
 		return
 	}
+	// Graceful degradation under quorum loss: if we asked buddies and
+	// every one of them is still silent (dead ports, partitions, dial
+	// retries still in flight), give the group one extra half-window
+	// before judging alone. One deferral only — after that the paper's
+	// §3.3 timeout-as-zero applies and the verdict proceeds on whatever
+	// arrived.
+	if !ev.deferred && ev.missing > 0 && len(ev.reports) == 0 {
+		ev.deferred = true
+		m.n.tel.evalDeferred.Inc()
+		m.armVerdict(suspect)
+		return
+	}
 	delete(m.pending, suspect)
 	pc, connected := m.n.peers[suspect]
 	if !connected {
@@ -324,5 +390,5 @@ func (m *monitor) finishEvaluation(suspect int32) {
 		General: g, Single: s,
 	})
 	m.n.statsMu.Unlock()
-	m.n.dropPeer(pc)
+	m.n.dropPeer(pc, dropCut)
 }

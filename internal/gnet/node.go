@@ -11,6 +11,7 @@
 package gnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"ddpolice/internal/capacity"
+	"ddpolice/internal/faults"
 	"ddpolice/internal/police"
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/rng"
@@ -32,6 +34,11 @@ const (
 	okLine     = "GNUTELLA/0.6 200 OK"
 	headerTerm = "\r\n\r\n"
 )
+
+// maxTransientDials caps concurrent out-of-band Neighbor_Traffic dials
+// per node: an evaluation storm (many suspects, large buddy groups)
+// used to spawn one unbounded goroutine per member.
+const maxTransientDials = 8
 
 // Config parameterizes a Node.
 type Config struct {
@@ -68,6 +75,45 @@ type Config struct {
 	// errors. Several nodes may share one registry; their counts
 	// aggregate. Nil disables recording at no measurable cost.
 	Telemetry *telemetry.Registry
+	// Faults, when non-nil, wraps every post-handshake connection in
+	// the fault-injection plane (internal/faults): seeded drop / delay
+	// / duplicate / reset by message class plus partition sets. Several
+	// nodes may share one plan so a whole harness fails from one
+	// deterministic schedule. Nil costs one pointer check at adoption
+	// time and nothing on the wire paths.
+	Faults *faults.Plan
+	// Reconnect, when non-nil, enables the self-healing supervisor:
+	// neighbors lost to transport faults (resets, read errors) are
+	// re-dialed with exponential backoff + jitter. Neighbors this node
+	// cut via DD-POLICE — or dropped after an orderly Bye — are never
+	// re-dialed; dropPeer tracks that provenance. Nil keeps the
+	// pre-fault behaviour: a lost neighbor stays lost.
+	Reconnect *ReconnectConfig
+}
+
+// ReconnectConfig bounds the reconnect supervisor's retry schedule.
+type ReconnectConfig struct {
+	// MaxAttempts is the number of re-dials before giving a neighbor up.
+	MaxAttempts int
+	// BaseDelay is the first backoff step; attempt k waits
+	// BaseDelay·2^k plus up to 50% uniform jitter, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// DialTimeout bounds each re-dial attempt (and each transient
+	// Neighbor_Traffic dial when set).
+	DialTimeout time.Duration
+}
+
+// DefaultReconnectConfig returns the supervisor schedule used by the
+// chaos harness: 6 attempts, 50ms base doubling to a 2s cap, 3s dials.
+func DefaultReconnectConfig() *ReconnectConfig {
+	return &ReconnectConfig{
+		MaxAttempts: 6,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		DialTimeout: 3 * time.Second,
+	}
 }
 
 // DefaultConfig returns a node config matching the paper's testbed.
@@ -119,11 +165,30 @@ type Node struct {
 	wg       sync.WaitGroup
 	closeOne sync.Once
 
+	// ctx is canceled by Close so in-flight dials (reconnects,
+	// transient Neighbor_Traffic exchanges) abort instead of holding
+	// wg.Wait hostage for a full dial timeout.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// transientSem bounds concurrent transient Neighbor_Traffic dials;
+	// evaluations that would exceed it leave the member missing
+	// (timeout-as-zero) and count gnet.transient_rejected.
+	transientSem chan struct{}
+
 	peers     map[int32]*peerConn // key: remote overlay identity
 	guidRoute map[protocol.GUID]*peerConn
 	seen      map[protocol.GUID]struct{}
 	forwarded map[protocol.GUID][]int32 // neighbors we forwarded each query to
 	hits      map[protocol.GUID]chan protocol.QueryHit
+
+	// cutPeers records neighbors this node disconnected via DD-POLICE —
+	// the supervisor must never re-dial them, whatever later transport
+	// errors their dying connections produce. reconnecting tracks ids
+	// with a backoff chain in flight so one loss starts one chain.
+	// Both are run-loop-owned.
+	cutPeers     map[int32]bool
+	reconnecting map[int32]bool
 
 	stats   Stats
 	statsMu sync.Mutex
@@ -143,6 +208,14 @@ type nodeTelemetry struct {
 	handshakeFail *telemetry.Counter // failed inbound/outbound handshakes
 	transientErr  *telemetry.Counter // transient Neighbor_Traffic dials that died
 	transientOK   *telemetry.Counter // transient dials that returned a report
+
+	transientRejected *telemetry.Counter // dials refused by the semaphore
+	transientRetries  *telemetry.Counter // transient dial retry attempts
+	reconnectAttempts *telemetry.Counter // supervisor re-dials started
+	reconnectOK       *telemetry.Counter // neighbors re-established
+	reconnectGiveups  *telemetry.Counter // backoff chains exhausted
+	reconnectBackoff  *telemetry.Gauge   // longest scheduled backoff, ms
+	evalDeferred      *telemetry.Counter // verdicts deferred for quorum
 }
 
 // inboundMsg is one decoded message plus its source connection.
@@ -159,6 +232,12 @@ type peerConn struct {
 	sendCh   chan []byte
 	node     *Node
 	closeOne sync.Once
+
+	// sendMu orders send against close: senders check sendClosed under
+	// the mutex before touching sendCh, so close(sendCh) can never race
+	// a send and the pumps need no recover band-aid.
+	sendMu     sync.Mutex
+	sendClosed bool
 }
 
 // NewNode starts a node listening on cfg.ListenAddr.
@@ -181,21 +260,25 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("gnet: listen: %w", err)
 	}
 	n := &Node{
-		cfg:       cfg,
-		ln:        ln,
-		proc:      proc,
-		src:       rng.New(cfg.Seed),
-		shared:    make(map[string]bool),
-		inbox:     make(chan inboundMsg, 1024),
-		ctl:       make(chan func(), 64),
-		done:      make(chan struct{}),
-		closed:    make(chan struct{}),
-		peers:     make(map[int32]*peerConn),
-		guidRoute: make(map[protocol.GUID]*peerConn),
-		seen:      make(map[protocol.GUID]struct{}),
-		forwarded: make(map[protocol.GUID][]int32),
-		hits:      make(map[protocol.GUID]chan protocol.QueryHit),
+		cfg:          cfg,
+		ln:           ln,
+		proc:         proc,
+		src:          rng.New(cfg.Seed),
+		shared:       make(map[string]bool),
+		inbox:        make(chan inboundMsg, 1024),
+		ctl:          make(chan func(), 64),
+		done:         make(chan struct{}),
+		closed:       make(chan struct{}),
+		transientSem: make(chan struct{}, maxTransientDials),
+		peers:        make(map[int32]*peerConn),
+		guidRoute:    make(map[protocol.GUID]*peerConn),
+		seen:         make(map[protocol.GUID]struct{}),
+		forwarded:    make(map[protocol.GUID][]int32),
+		hits:         make(map[protocol.GUID]chan protocol.QueryHit),
+		cutPeers:     make(map[int32]bool),
+		reconnecting: make(map[int32]bool),
 	}
+	n.ctx, n.cancel = context.WithCancel(context.Background())
 	for _, obj := range cfg.SharedObjects {
 		n.shared[obj] = true
 	}
@@ -205,6 +288,17 @@ func NewNode(cfg Config) (*Node, error) {
 		handshakeFail: cfg.Telemetry.Counter("gnet.handshake_failures"),
 		transientErr:  cfg.Telemetry.Counter("gnet.transient_dial_errors"),
 		transientOK:   cfg.Telemetry.Counter("gnet.transient_reports"),
+
+		transientRejected: cfg.Telemetry.Counter("gnet.transient_rejected"),
+		transientRetries:  cfg.Telemetry.Counter("gnet.transient_retries"),
+		reconnectAttempts: cfg.Telemetry.Counter("gnet.reconnect_attempts"),
+		reconnectOK:       cfg.Telemetry.Counter("gnet.reconnect_successes"),
+		reconnectGiveups:  cfg.Telemetry.Counter("gnet.reconnect_giveups"),
+		reconnectBackoff:  cfg.Telemetry.Gauge("gnet.reconnect_backoff_max_ms"),
+		evalDeferred:      cfg.Telemetry.Counter("gnet.evaluations_deferred"),
+	}
+	if cfg.Faults != nil && cfg.Telemetry != nil {
+		cfg.Faults.AttachTelemetry(cfg.Telemetry)
 	}
 	if cfg.Police != nil {
 		if err := cfg.Police.Validate(); err != nil {
@@ -225,10 +319,13 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 // Name returns the node's label.
 func (n *Node) Name() string { return n.cfg.Name }
 
-// Close shuts the node down and waits for its goroutines.
+// Close shuts the node down and waits for its goroutines. Canceling
+// ctx aborts in-flight reconnect and transient dials immediately, so
+// Close never waits out a dial timeout.
 func (n *Node) Close() {
 	n.closeOne.Do(func() {
 		close(n.done)
+		n.cancel()
 		n.ln.Close()
 	})
 	n.wg.Wait()
@@ -268,15 +365,9 @@ func (n *Node) Neighbors() []int32 {
 // Connect dials and handshakes with a remote node's listen address,
 // establishing a full neighbor relationship.
 func (n *Node) Connect(addr string) error {
-	conn, err := dialHandshake(addr, n.Addr(), n.cfg.NodeID, false)
+	conn, id, raddr, err := n.dialPeer(addr, false)
 	if err != nil {
 		n.tel.handshakeFail.Inc()
-		return err
-	}
-	id, raddr, err := readPeerIdentity(conn)
-	if err != nil {
-		n.tel.handshakeFail.Inc()
-		conn.Close()
 		return err
 	}
 	if raddr == "" {
@@ -286,15 +377,44 @@ func (n *Node) Connect(addr string) error {
 	return nil
 }
 
+// dialTimeout is the per-attempt dial budget: Reconnect's if set,
+// otherwise the historical 5 seconds.
+func (n *Node) dialTimeout() time.Duration {
+	if rc := n.cfg.Reconnect; rc != nil && rc.DialTimeout > 0 {
+		return rc.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+// dialPeer dials addr, handshakes, and reads the responder's identity.
+// The whole exchange aborts when the node closes: the dial goes through
+// n.ctx and the identity read's socket is closed by a context hook, so
+// goroutines blocked here never outlive Close.
+func (n *Node) dialPeer(addr string, transient bool) (conn net.Conn, id int32, raddr string, err error) {
+	conn, err = dialHandshake(n.ctx, addr, n.Addr(), n.cfg.NodeID, transient, n.dialTimeout())
+	if err != nil {
+		return nil, 0, "", err
+	}
+	stop := context.AfterFunc(n.ctx, func() { conn.Close() })
+	id, raddr, err = readPeerIdentity(conn)
+	stop()
+	if err != nil {
+		conn.Close()
+		return nil, 0, "", err
+	}
+	return conn, id, raddr, nil
+}
+
 // dialHandshake dials addr and performs the initiator handshake.
 // transient connections are used for out-of-band Neighbor_Traffic
 // exchanges and are not registered as neighbors on either side.
-func dialHandshake(addr, listenAddr string, nodeID int32, transient bool) (net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+func dialHandshake(ctx context.Context, addr, listenAddr string, nodeID int32, transient bool, timeout time.Duration) (net.Conn, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("gnet: dial %s: %w", addr, err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(timeout)
 	conn.SetDeadline(deadline)
 	kind := ""
 	if transient {
@@ -409,13 +529,38 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// classifyFrame maps one outbound wire frame to its fault class by the
+// Gnutella header type byte. Frames shorter than a header (handshake
+// text never reaches the wrapped path) fall into ClassOther.
+func classifyFrame(frame []byte) faults.Class {
+	if len(frame) < protocol.HeaderSize {
+		return faults.ClassOther
+	}
+	switch frame[16] {
+	case protocol.TypeQuery, protocol.TypeQueryHit:
+		return faults.ClassQuery
+	case protocol.TypeNeighborList, protocol.TypeNeighborTraffic:
+		return faults.ClassControl
+	default:
+		return faults.ClassOther
+	}
+}
+
 // adoptConn starts a handshaked connection's pumps; register=false
 // keeps it off the neighbor table (transient control channel).
 func (n *Node) adoptConn(conn net.Conn, addr string, id int32, register bool) {
+	conn = faults.Wrap(conn, n.cfg.Faults, n.cfg.NodeID, id, classifyFrame)
 	pc := &peerConn{conn: conn, addr: addr, id: id, sendCh: make(chan []byte, 256), node: n}
 	if register {
 		select {
 		case n.ctl <- func() {
+			// A peer this node cut via DD-POLICE stays cut: accepting its
+			// re-dial (or our own stale reconnect racing the verdict)
+			// would undo the defense one handshake later.
+			if n.cutPeers[id] {
+				pc.close()
+				return
+			}
 			if old, dup := n.peers[id]; dup {
 				old.close()
 			}
@@ -437,15 +582,25 @@ func (n *Node) adoptConn(conn net.Conn, addr string, id int32, register bool) {
 func (pc *peerConn) close() {
 	pc.closeOne.Do(func() {
 		pc.conn.Close()
+		pc.sendMu.Lock()
+		pc.sendClosed = true
 		close(pc.sendCh)
+		pc.sendMu.Unlock()
 	})
 }
 
 // send enqueues wire bytes, dropping on backpressure (a slow neighbor
 // must not stall the node; this is where a saturated peer's drops show
-// up on the sender side).
+// up on the sender side). Sends to a closed link report failure instead
+// of panicking: the closed flag is checked under the same mutex close()
+// holds while closing sendCh, so real panics in callers propagate
+// rather than being swallowed by a blanket recover.
 func (pc *peerConn) send(wire []byte) bool {
-	defer func() { recover() }() // racing close(sendCh) loses the message
+	pc.sendMu.Lock()
+	defer pc.sendMu.Unlock()
+	if pc.sendClosed {
+		return false
+	}
 	select {
 	case pc.sendCh <- wire:
 		return true
@@ -475,8 +630,13 @@ func (pc *peerConn) readLoop() {
 	n := pc.node
 	defer n.wg.Done()
 	defer func() {
+		// Close the link here, not only in dropPeer: the run loop may
+		// already be gone (node closing), and the write pump's drain
+		// blocks until sendCh closes. dropPeer still runs for the
+		// bookkeeping (neighbor table, monitor, reconnect provenance).
+		pc.close()
 		select {
-		case n.ctl <- func() { n.dropPeer(pc) }:
+		case n.ctl <- func() { n.dropPeer(pc, dropTransport) }:
 		case <-n.closed:
 		}
 	}()
@@ -499,12 +659,38 @@ func (pc *peerConn) readLoop() {
 	}
 }
 
-// dropPeer removes a neighbor (run-loop goroutine only).
-func (n *Node) dropPeer(pc *peerConn) {
+// dropCause records why a neighbor link went away — the provenance the
+// reconnect supervisor keys on. Only transport faults qualify for
+// re-dialing: an orderly Bye means the peer chose to leave, and a
+// DD-POLICE cut must stay cut or the defense would undo itself.
+type dropCause uint8
+
+const (
+	dropTransport dropCause = iota // read/write error, injected reset
+	dropOrderly                    // peer sent Bye, or local Disconnect
+	dropCut                        // DD-POLICE verdict by this node
+)
+
+// dropPeer removes a neighbor (run-loop goroutine only). The cause
+// decides what happens next: dropCut marks the id permanently
+// unredialable; dropTransport starts a reconnect chain when the
+// supervisor is enabled. A stale pc (already replaced by a newer
+// connection to the same id) only closes itself — in particular, the
+// transport error a dying cut connection produces moments after the cut
+// does not resurrect the neighbor.
+func (n *Node) dropPeer(pc *peerConn, cause dropCause) {
 	if cur, ok := n.peers[pc.id]; ok && cur == pc {
 		delete(n.peers, pc.id)
 		if n.monitor != nil {
 			n.monitor.onNeighborDown(pc.id)
+		}
+		switch cause {
+		case dropCut:
+			n.cutPeers[pc.id] = true
+		case dropTransport:
+			if n.cfg.Reconnect != nil && !n.cutPeers[pc.id] && !n.reconnecting[pc.id] {
+				n.scheduleReconnect(pc.id, pc.addr, 0)
+			}
 		}
 	}
 	pc.close()
@@ -513,4 +699,66 @@ func (n *Node) dropPeer(pc *peerConn) {
 			delete(n.guidRoute, guid)
 		}
 	}
+}
+
+// scheduleReconnect arms the next re-dial of a lost neighbor (run-loop
+// goroutine only): exponential backoff with up to 50% uniform jitter,
+// capped at MaxDelay.
+func (n *Node) scheduleReconnect(id int32, addr string, attempt int) {
+	rc := n.cfg.Reconnect
+	if attempt >= rc.MaxAttempts {
+		n.tel.reconnectGiveups.Inc()
+		delete(n.reconnecting, id)
+		return
+	}
+	n.reconnecting[id] = true
+	delay := rc.BaseDelay << attempt
+	if delay > rc.MaxDelay || delay <= 0 {
+		delay = rc.MaxDelay
+	}
+	delay += time.Duration(n.src.Float64() * float64(delay) / 2)
+	n.tel.reconnectBackoff.SetMax(int64(delay / time.Millisecond))
+	time.AfterFunc(delay, func() {
+		select {
+		case n.ctl <- func() { n.tryReconnect(id, addr, attempt) }:
+		case <-n.closed:
+		}
+	})
+}
+
+// tryReconnect runs one supervised re-dial (run-loop goroutine only).
+// The dial itself happens on a tracked goroutine so the loop never
+// blocks; success re-registers through the normal adoptConn path.
+func (n *Node) tryReconnect(id int32, addr string, attempt int) {
+	if _, have := n.peers[id]; have || n.cutPeers[id] {
+		delete(n.reconnecting, id)
+		return
+	}
+	select {
+	case <-n.done:
+		return
+	default:
+	}
+	n.tel.reconnectAttempts.Inc()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		conn, rid, raddr, err := n.dialPeer(addr, false)
+		if err != nil {
+			select {
+			case n.ctl <- func() { n.scheduleReconnect(id, addr, attempt+1) }:
+			case <-n.closed:
+			}
+			return
+		}
+		if raddr == "" {
+			raddr = addr
+		}
+		n.adoptConn(conn, raddr, rid, true)
+		n.tel.reconnectOK.Inc()
+		select {
+		case n.ctl <- func() { delete(n.reconnecting, id) }:
+		case <-n.closed:
+		}
+	}()
 }

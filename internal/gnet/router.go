@@ -59,7 +59,7 @@ func (n *Node) handle(in inboundMsg) {
 	case protocol.Pong:
 		// Liveness only.
 	case protocol.Bye:
-		n.dropPeer(in.from)
+		n.dropPeer(in.from, dropOrderly)
 	case protocol.NeighborList:
 		if n.monitor != nil {
 			n.monitor.onNeighborList(in.from.id, body)
@@ -256,7 +256,7 @@ func (n *Node) Disconnect(id int32, code uint16, reason string) error {
 		}
 		pc.send(protocol.Encode(nil, protocol.NewGUID(n.src), 1, 0,
 			protocol.Bye{Code: code, Reason: reason}))
-		n.dropPeer(pc)
+		n.dropPeer(pc, dropOrderly)
 		errCh <- nil
 	}:
 	case <-n.closed:

@@ -14,6 +14,12 @@ type ChurnConfig struct {
 	MeanLifetime   float64 // seconds online per session (paper: 600)
 	StddevLifetime float64 // seconds (paper: ~134)
 	MeanOffline    float64 // seconds between sessions; exponential
+	// CrashFraction is the probability a departure is a crash rather
+	// than a graceful leave. A crashed peer vanishes without the
+	// leave-side protocol actions (its buddies keep stale state until
+	// their own timeouts clear it); the fault-injection studies sweep
+	// this. Zero (the default) keeps every departure graceful.
+	CrashFraction float64
 }
 
 // DefaultChurnConfig returns the paper's churn parameters.
@@ -28,8 +34,10 @@ type Churn struct {
 	ov        *Overlay
 	remaining []float64 // seconds until state flip; <0 means pinned
 	pinned    []bool    // peers excluded from churn (e.g. DDoS agents)
+	crashed   []bool    // last departure of v was a crash, not a leave
 	joins     int
 	leaves    int
+	crashes   int
 }
 
 // NewChurn creates a churn driver. Every peer starts online with a
@@ -41,6 +49,7 @@ func NewChurn(ov *Overlay, cfg ChurnConfig, src *rng.Source) *Churn {
 		ov:        ov,
 		remaining: make([]float64, ov.NumPeers()),
 		pinned:    make([]bool, ov.NumPeers()),
+		crashed:   make([]bool, ov.NumPeers()),
 	}
 	for v := range c.remaining {
 		// Stagger initial lifetimes: peers are mid-session at t=0, so
@@ -73,8 +82,15 @@ func (c *Churn) Unpin(v PeerID) {
 // Joins returns the number of join events so far.
 func (c *Churn) Joins() int { return c.joins }
 
-// Leaves returns the number of leave events so far.
+// Leaves returns the number of leave events so far (crashes included).
 func (c *Churn) Leaves() int { return c.leaves }
+
+// Crashes returns the number of departures that were crashes.
+func (c *Churn) Crashes() int { return c.crashes }
+
+// Crashed reports whether v's most recent departure was a crash. The
+// flag clears when v rejoins.
+func (c *Churn) Crashed(v PeerID) bool { return c.crashed[v] }
 
 // Tick advances churn by dt seconds, flipping any peers whose session
 // or offline period expired.
@@ -91,6 +107,10 @@ func (c *Churn) Tick(dt float64) {
 		if c.ov.Online(id) {
 			c.ov.SetOnline(id, false)
 			c.leaves++
+			if c.cfg.CrashFraction > 0 && c.src.Bool(c.cfg.CrashFraction) {
+				c.crashed[v] = true
+				c.crashes++
+			}
 			if c.cfg.MeanOffline <= 0 {
 				c.remaining[v] = 1e18 // never rejoins
 			} else {
@@ -99,6 +119,7 @@ func (c *Churn) Tick(dt float64) {
 		} else {
 			c.ov.SetOnline(id, true)
 			c.joins++
+			c.crashed[v] = false
 			c.remaining[v] = c.sampleLifetime()
 		}
 	}

@@ -203,6 +203,19 @@ func (o *Overlay) Cut(u, w PeerID) error {
 	return nil
 }
 
+// Uncut restores a severed logical connection {u,w} in both directions
+// — the healing half of a timed partition event. Uncutting an intact or
+// non-existent edge is a no-op, so heals compose with churn: SetOnline
+// may already have cleared the flags while the partition was up.
+func (o *Overlay) Uncut(u, w PeerID) {
+	e, ok := o.lookupEdge(u, w)
+	if !ok {
+		return
+	}
+	o.cut[e] = false
+	o.cut[o.reverse[e]] = false
+}
+
 // IsCut reports whether the logical edge {u,w} has been severed.
 func (o *Overlay) IsCut(u, w PeerID) bool {
 	e, ok := o.lookupEdge(u, w)

@@ -12,6 +12,7 @@ import (
 
 	"ddpolice/internal/attack"
 	"ddpolice/internal/capacity"
+	"ddpolice/internal/faults"
 	"ddpolice/internal/flood"
 	"ddpolice/internal/metrics"
 	"ddpolice/internal/overlay"
@@ -63,6 +64,16 @@ type Config struct {
 	// ControlLossCap bounds the congestion-driven loss probability of
 	// DD-POLICE control messages (lists, reports). 0 disables loss.
 	ControlLossCap float64
+
+	// Faults, when non-nil, injects scheduled failures: an
+	// unconditional control-message loss floor (added to the
+	// congestion-derived loss each minute) and timed partition/heal
+	// events that sever all edges between the listed peers and the rest
+	// of the overlay. Crash-vs-graceful departures are configured on
+	// Churn.CrashFraction: a crashed peer skips the leave-side protocol
+	// notifications, so its buddies hold stale state until their own
+	// timeouts clear it. Nil costs a pointer check per tick.
+	Faults *faults.Schedule
 
 	// IdealCounters switches the monitoring counters to the paper's
 	// idealized forward-everything plane (flood.CounterIdeal) — an
@@ -172,6 +183,19 @@ func (c Config) Validate() error {
 	if c.PoliceEnabled {
 		if err := c.Police.Validate(); err != nil {
 			return err
+		}
+	}
+	if c.Faults != nil {
+		if c.Faults.ControlLoss < 0 || c.Faults.ControlLoss >= 1 {
+			return fmt.Errorf("sim: Faults.ControlLoss = %v", c.Faults.ControlLoss)
+		}
+		for i, pe := range c.Faults.Partitions {
+			if pe.StartSec < 0 || pe.EndSec <= pe.StartSec {
+				return fmt.Errorf("sim: Faults.Partitions[%d] spans [%d,%d)", i, pe.StartSec, pe.EndSec)
+			}
+			if len(pe.Peers) == 0 {
+				return fmt.Errorf("sim: Faults.Partitions[%d] has no peers", i)
+			}
 		}
 	}
 	return nil
@@ -297,6 +321,25 @@ func Run(cfg Config) (*Result, error) {
 	lossSrc := root.Split()
 	events := newEventLog(cfg.Events)
 
+	// Scheduled fault state: one tracker per partition event, recording
+	// exactly which edges the partition severed so healing restores only
+	// those (DD-POLICE cuts made meanwhile must stay cut).
+	var parts []partitionState
+	if cfg.Faults != nil {
+		parts = make([]partitionState, len(cfg.Faults.Partitions))
+		for i, pe := range cfg.Faults.Partitions {
+			parts[i].ev = pe
+			parts[i].members = make(map[overlay.PeerID]struct{}, len(pe.Peers))
+			for _, p := range pe.Peers {
+				parts[i].members[overlay.PeerID(p)] = struct{}{}
+			}
+		}
+	}
+	// Fault counters resolve to nil no-ops when telemetry is off.
+	crashCtr := reg.Counter("sim.crash_departures")
+	partCutCtr := reg.Counter("sim.partition_cut_edges")
+	partHealCtr := reg.Counter("sim.partition_healed_edges")
+
 	var (
 		onlineBuf  []overlay.PeerID
 		queryBuf   []workload.Query
@@ -319,13 +362,33 @@ func Run(cfg Config) (*Result, error) {
 				pol.NotifyJoin(overlay.PeerID(v), 0)
 			}
 		}
+		// The injected loss floor applies from the first minute; the
+		// congestion-derived term joins it at each minute close.
+		if cfg.Faults != nil && cfg.Faults.ControlLoss > 0 {
+			pol.SetControlLoss(cfg.Faults.ControlLoss, lossSrc)
+		}
 	}
 
 	for t := 0; t < cfg.DurationSec; t++ {
 		now := float64(t)
 		budget.Refill()
 
+		// 0. Scheduled partition/heal events take effect at the top of
+		// their tick so the whole tick sees the new connectivity.
+		for i := range parts {
+			p := &parts[i]
+			if t == p.ev.StartSec {
+				p.apply(ov, partCutCtr)
+			}
+			if t == p.ev.EndSec {
+				p.heal(ov, partHealCtr)
+			}
+		}
+
 		// 1. Churn, with police notifications derived from the diff.
+		// Crashed peers vanish silently: no NotifyLeave, so their
+		// buddies keep stale group state until timeouts clear it —
+		// exactly the degraded view §3.3's timeout-as-zero is for.
 		if churn != nil {
 			t0 := stages.Start()
 			churn.Tick(1)
@@ -338,6 +401,8 @@ func Run(cfg Config) (*Result, error) {
 					prevOnline[v] = on
 					if on {
 						pol.NotifyJoin(overlay.PeerID(v), now)
+					} else if churn.Crashed(overlay.PeerID(v)) {
+						crashCtr.Inc()
 					} else {
 						pol.NotifyLeave(overlay.PeerID(v), now)
 					}
@@ -432,6 +497,8 @@ func Run(cfg Config) (*Result, error) {
 				// DD-POLICE control messages ride the same saturated
 				// links as the attack traffic: derive their loss rate
 				// for the next minute from the congestion just measured.
+				// The scheduled fault floor adds on top: congestion and
+				// injected loss are independent failure sources.
 				ms := coll.Minutes()
 				last := ms[len(ms)-1]
 				loss := 0.0
@@ -440,6 +507,12 @@ func Run(cfg Config) (*Result, error) {
 				}
 				if loss > cfg.ControlLossCap {
 					loss = cfg.ControlLossCap
+				}
+				if cfg.Faults != nil {
+					loss += cfg.Faults.ControlLoss
+					if loss > 0.95 {
+						loss = 0.95
+					}
 				}
 				pol.SetControlLoss(loss, lossSrc)
 			}
@@ -458,6 +531,20 @@ func Run(cfg Config) (*Result, error) {
 	res.QueriesIssued = qgen.Issued()
 	res.AgentIDs = fleet.IDs()
 	res.CutEdges = ov.CutCount()
+	// Partitions that never healed (EndSec past the horizon) still hold
+	// edges cut; those are injected faults, not DD-POLICE decisions, so
+	// they don't count as defense cuts.
+	for i := range parts {
+		p := &parts[i]
+		if !p.applied || p.healed {
+			continue
+		}
+		for _, e := range p.cutEdges {
+			if ov.IsCut(e[0], e[1]) {
+				res.CutEdges--
+			}
+		}
+	}
 	if pol != nil {
 		res.Detections = len(pol.Detections())
 		res.FalseNegatives = pol.FalseNegatives()
@@ -470,4 +557,51 @@ func Run(cfg Config) (*Result, error) {
 		res.Telemetry = &snap
 	}
 	return &res, nil
+}
+
+// partitionState tracks one scheduled faults.PartitionEvent through a
+// run. The partition severs every boundary edge (member <-> non-member)
+// that is intact when it starts, and the heal restores exactly those
+// edges — never ones DD-POLICE cut in the meantime, and never
+// member-internal edges, which a network partition leaves working.
+type partitionState struct {
+	ev       faults.PartitionEvent
+	members  map[overlay.PeerID]struct{}
+	cutEdges [][2]overlay.PeerID
+	applied  bool
+	healed   bool
+}
+
+func (p *partitionState) apply(ov *overlay.Overlay, ctr *telemetry.Counter) {
+	if p.applied {
+		return
+	}
+	p.applied = true
+	for m := range p.members {
+		for _, w := range ov.Graph().Neighbors(m) {
+			if _, in := p.members[w]; in {
+				continue
+			}
+			if ov.IsCut(m, w) {
+				continue // already severed by the defense; not ours
+			}
+			if err := ov.Cut(m, w); err == nil {
+				p.cutEdges = append(p.cutEdges, [2]overlay.PeerID{m, w})
+				ctr.Inc()
+			}
+		}
+	}
+}
+
+func (p *partitionState) heal(ov *overlay.Overlay, ctr *telemetry.Counter) {
+	if !p.applied || p.healed {
+		return
+	}
+	p.healed = true
+	for _, e := range p.cutEdges {
+		if ov.IsCut(e[0], e[1]) {
+			ov.Uncut(e[0], e[1])
+			ctr.Inc()
+		}
+	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"ddpolice/internal/capacity"
 	"ddpolice/internal/chord"
+	"ddpolice/internal/faults"
 	"ddpolice/internal/metrics"
 	"ddpolice/internal/rng"
 )
@@ -348,4 +349,66 @@ func runChord(scale Scale, agents int) (chordOutcome, error) {
 		outcome.success = float64(ok) / float64(issued)
 	}
 	return outcome, nil
+}
+
+// FaultPoint is one cell of the fault-plane sweep: DD-POLICE judgment
+// quality at a given injected control-message loss rate under a given
+// churn regime.
+type FaultPoint struct {
+	ControlLoss    float64
+	Churn          string
+	Detections     int
+	FalseNegatives int
+	FalsePositives int
+	FalseJudgment  int // FN + FP, the paper's combined error metric
+	Success        float64
+}
+
+// FaultsStudy sweeps injected control loss against churn regimes. The
+// paper's §3.3 claim is that treating missing Neighbor_Traffic reports
+// as zeros keeps judgments safe when control messages are lost; this
+// study quantifies how far that holds as the fault plane degrades the
+// control channel and crash churn leaves stale buddy-group state
+// behind (a crashed peer never sends the leave-side notifications).
+func FaultsStudy(scale Scale, losses []float64) ([]FaultPoint, error) {
+	churns := []struct {
+		label  string
+		mutate func(*Config)
+	}{
+		{"none", func(c *Config) { c.ChurnEnabled = false }},
+		{"paper", func(c *Config) { c.ChurnEnabled = true }},
+		{"crash-heavy", func(c *Config) {
+			c.ChurnEnabled = true
+			c.Churn.MeanLifetime = 300
+			c.Churn.StddevLifetime = 70
+			c.Churn.MeanOffline = 300
+			c.Churn.CrashFraction = 0.5
+		}},
+	}
+	out := make([]FaultPoint, 0, len(churns)*len(losses))
+	for _, ch := range churns {
+		for _, loss := range losses {
+			cfg := scale.baseConfig()
+			cfg.NumAgents = scale.TimelineAgents
+			cfg.PoliceEnabled = true
+			ch.mutate(&cfg)
+			if loss > 0 {
+				cfg.Faults = &faults.Schedule{ControlLoss: loss}
+			}
+			res, err := scale.run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, FaultPoint{
+				ControlLoss:    loss,
+				Churn:          ch.label,
+				Detections:     res.Detections,
+				FalseNegatives: res.FalseNegatives,
+				FalsePositives: res.FalsePositives,
+				FalseJudgment:  res.FalseNegatives + res.FalsePositives,
+				Success:        res.OverallSuccess,
+			})
+		}
+	}
+	return out, nil
 }

@@ -195,3 +195,30 @@ func TestStructuredStudyShape(t *testing.T) {
 			mid.StructuredSuccess, mid.Agents)
 	}
 }
+
+func TestFaultsStudyShape(t *testing.T) {
+	losses := []float64{0, 0.2}
+	pts, err := FaultsStudy(QuickScale(), losses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3*len(losses) {
+		t.Fatalf("rows = %d, want %d", len(pts), 3*len(losses))
+	}
+	for _, p := range pts {
+		if p.FalseJudgment != p.FalseNegatives+p.FalsePositives {
+			t.Errorf("%s/%v: false judgment %d != FN %d + FP %d",
+				p.Churn, p.ControlLoss, p.FalseJudgment, p.FalseNegatives, p.FalsePositives)
+		}
+		if p.Detections == 0 {
+			t.Errorf("%s/%v: defense never fired", p.Churn, p.ControlLoss)
+		}
+	}
+	// The headline claim: a degraded control channel costs judgment
+	// accuracy. Compare the clean and lossy cells of the no-churn row.
+	clean, lossy := pts[0], pts[1]
+	if lossy.FalseJudgment < clean.FalseJudgment {
+		t.Errorf("20%% control loss improved judgments: %d vs %d",
+			lossy.FalseJudgment, clean.FalseJudgment)
+	}
+}
