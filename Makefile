@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci build vet test race chaos bench telemetry
+.PHONY: ci build vet test race chaos smoke bench telemetry
 
 # ci is the gate: static checks, full build, full tests, then a short
 # race pass over the packages with real concurrency (the live TCP node
 # and the parallel replica runner), then the chaos pass (fault
-# injection, reconnect supervision, transient-dial recovery).
-ci: vet build test race chaos
+# injection, reconnect supervision, transient-dial recovery), then the
+# metrics smoke (a live ddnode answering /metrics and /healthz).
+ci: vet build test race chaos smoke
 
 build:
 	$(GO) build ./...
@@ -20,9 +21,10 @@ test:
 # The race pass is scoped to the concurrency-heavy suites so ci stays
 # fast: gnet's monitor/telemetry tests exercise transient dials and the
 # registry from many goroutines; sim's merge/telemetry tests cover the
-# parallel replica fan-out.
+# parallel replica fan-out; the histogram and journal suites hammer
+# their instruments from many writers.
 race:
-	$(GO) test -race -run 'Telemetry|Monitor|Evaluation|Duplicate|MergeResults|Averaged|Parallel' ./internal/gnet/ ./internal/sim/
+	$(GO) test -race -run 'Telemetry|Monitor|Evaluation|Duplicate|MergeResults|Averaged|Parallel|Histogram|Journal' ./internal/gnet/ ./internal/sim/ ./internal/telemetry/ ./internal/journal/
 
 # The chaos pass runs the fault-injection suites under the race
 # detector: injected resets with reconnect backoff, cut-vs-crash
@@ -30,6 +32,11 @@ race:
 chaos:
 	$(GO) vet ./internal/faults/
 	$(GO) test -race -run 'Chaos|Reconnect|Transient' ./internal/gnet/...
+
+# The smoke pass boots a real ddnode with the exposition plane on and
+# asserts /metrics serves non-empty Prometheus text and /healthz is ok.
+smoke:
+	./scripts/metrics_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -168,6 +168,24 @@ func Fig14SVG(w io.Writer, pts []CTPoint) error {
 	})
 }
 
+// DetectCDFSVG renders the detection-latency CDF reconstructed from
+// the event journal (agents and collateral good peers together).
+func DetectCDFSVG(w io.Writer, rep *DetectReport) error {
+	var x, y []float64
+	for _, p := range rep.CDF {
+		x = append(x, p.LatencySec)
+		y = append(y, p.Fraction)
+	}
+	lo := 0.0
+	return renderChart(w, &viz.Chart{
+		Title:  "Detection latency CDF (journal-reconstructed)",
+		XLabel: "seconds from flood start to cut",
+		YLabel: "fraction of cut suspects",
+		YMin:   &lo,
+		Series: []viz.Series{{Label: "detection latency", X: x, Y: y}},
+	})
+}
+
 // FaultsSVG renders the false-judgment surface of the fault-plane
 // study: one curve per churn regime, control loss on the x-axis.
 func FaultsSVG(w io.Writer, pts []FaultPoint) error {

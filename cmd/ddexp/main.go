@@ -25,7 +25,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
-	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured, faults")
+	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured, faults, detect")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	svgDir := flag.String("svg", "", "also render one SVG per figure into this directory")
 	telemetryFlag := flag.Bool("telemetry", false, "run the telemetry study and print per-stage timing tables")
@@ -121,6 +121,11 @@ func main() {
 	}
 	if want("faults") {
 		if err := printFaultsStudy(scale); err != nil {
+			fatal(err)
+		}
+	}
+	if want("detect") {
+		if err := printDetectStudy(scale); err != nil {
 			fatal(err)
 		}
 	}
@@ -490,6 +495,36 @@ func printFaultsStudy(scale ddpolice.Scale) error {
 			p.FalseNegatives, p.FalsePositives, p.FalseJudgment, p.Success*100)
 	}
 	return w.Flush()
+}
+
+func printDetectStudy(scale ddpolice.Scale) error {
+	rep, err := ddpolice.DetectStudy(scale)
+	if err != nil {
+		return err
+	}
+	saveCSV("detect_timelines.csv", func(w *os.File) error { return ddpolice.DetectPointsCSV(w, rep.Points) })
+	saveCSV("detect_latency_cdf.csv", func(w *os.File) error { return ddpolice.DetectCDFCSV(w, rep) })
+	saveCSV("detect_overhead.csv", func(w *os.File) error { return ddpolice.DetectOverheadCSV(w, rep) })
+	saveSVG("detect_latency_cdf.svg", func(w *os.File) error { return ddpolice.DetectCDFSVG(w, rep) })
+	section("Detection pipeline: journal-reconstructed timelines")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "suspect\tagent\tflood start\tfirst warning\tquorum\tcut\tlatency (s)\tNT reports\tNT timeouts")
+	for _, p := range rep.Points {
+		fmt.Fprintf(w, "%d\t%v\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
+			p.Suspect, p.Agent, p.FloodStart, p.FirstWarning,
+			p.QuorumAt, p.CutAt, p.LatencySec, p.Reports, p.Timeouts)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("journal: %d events (%d dropped); %d cuts; %d NT msgs (%.1f per cut)\n",
+		rep.Events, rep.Dropped, rep.Cuts, rep.NTMessages, rep.NTPerCut)
+	if n := len(rep.CDF); n > 0 {
+		fmt.Printf("latency p50 %.0fs, p90 %.0fs, max %.0fs over %d cut suspects\n",
+			rep.CDF[(n-1)/2].LatencySec, rep.CDF[(n-1)*9/10].LatencySec,
+			rep.CDF[n-1].LatencySec, n)
+	}
+	return nil
 }
 
 func printStructuredStudy(scale ddpolice.Scale) error {

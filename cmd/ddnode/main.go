@@ -23,7 +23,10 @@ import (
 	"time"
 
 	"ddpolice/internal/gnet"
+	"ddpolice/internal/journal"
+	"ddpolice/internal/metricsrv"
 	"ddpolice/internal/police"
+	"ddpolice/internal/telemetry"
 	"ddpolice/internal/workload"
 )
 
@@ -42,6 +45,8 @@ func main() {
 		stats    = flag.Duration("stats", 10*time.Second, "stats print interval")
 		query    = flag.String("query", "", "periodically search for this keyword")
 		queryIv  = flag.Duration("query-interval", 10*time.Second, "interval between -query searches")
+		metrics  = flag.String("metrics", "", "serve /metrics, /healthz and /journal on this address")
+		jcap     = flag.Int("journal-cap", 4096, "event journal ring capacity")
 	)
 	flag.Parse()
 
@@ -58,11 +63,34 @@ func main() {
 		pc.CutThreshold = *ct
 		cfg.Police = &pc
 	}
+	if *metrics != "" {
+		cfg.Telemetry = telemetry.New()
+		cfg.Journal = journal.New(*jcap)
+	}
 	node, err := gnet.NewNode(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer node.Close()
+	if *metrics != "" {
+		srv, err := metricsrv.Serve(*metrics, metricsrv.Config{
+			Registry: cfg.Telemetry,
+			Journal:  cfg.Journal,
+			Health: func() map[string]any {
+				st := node.Stats()
+				return map[string]any{
+					"node_id":   *id,
+					"neighbors": len(node.Neighbors()),
+					"cuts":      len(st.Disconnects),
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s\n", srv.Addr())
+	}
 	fmt.Printf("%s listening on %s (capacity %.0f q/min, police=%v)\n",
 		node.Name(), node.Addr(), *capacity, *policed)
 

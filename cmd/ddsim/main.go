@@ -14,6 +14,9 @@ import (
 	"time"
 
 	"ddpolice"
+	"ddpolice/internal/journal"
+	"ddpolice/internal/metricsrv"
+	"ddpolice/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +33,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		perMin   = flag.Bool("minutes", false, "print the per-minute table")
 		events   = flag.String("events", "", "write a JSON-lines event log to this file")
+		metrics  = flag.String("metrics", "", "serve /metrics, /healthz and /journal on this address while the run executes")
+		jfile    = flag.String("journal", "", "write the detection-event journal (NDJSON) to this file")
 	)
 	flag.Parse()
 
@@ -53,11 +58,44 @@ func main() {
 		defer f.Close()
 		cfg.Events = f
 	}
+	if *metrics != "" || *jfile != "" {
+		cfg.Journal = journal.New(1 << 16)
+	}
+	if *metrics != "" {
+		cfg.Registry = telemetry.New()
+		srv, err := metricsrv.Serve(*metrics, metricsrv.Config{
+			Registry: cfg.Registry,
+			Journal:  cfg.Journal,
+			Health: func() map[string]any {
+				return map[string]any{"peers": *peers, "agents": *agents, "seed": *seed}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s\n", srv.Addr())
+	}
 
 	res, err := ddpolice.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(1)
+	}
+	if *jfile != "" {
+		f, err := os.Create(*jfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(1)
+		}
+		if err := cfg.Journal.WriteNDJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("journal: %d events -> %s (%d dropped)\n",
+			cfg.Journal.Len(), *jfile, cfg.Journal.Dropped())
 	}
 
 	fmt.Printf("peers=%d agents=%d police=%v duration=%s seed=%d\n",

@@ -198,6 +198,43 @@ func StructuredPointsCSV(w io.Writer, pts []StructuredPoint) error {
 	return writeAll(w, rows)
 }
 
+// DetectPointsCSV renders the per-suspect detection timelines
+// reconstructed from the event journal.
+func DetectPointsCSV(w io.Writer, pts []DetectPoint) error {
+	rows := [][]string{{
+		"suspect", "agent", "flood_start", "first_warning",
+		"quorum_at", "cut_at", "latency_sec", "nt_reports", "nt_timeouts",
+	}}
+	for _, p := range pts {
+		agent := "0"
+		if p.Agent {
+			agent = "1"
+		}
+		rows = append(rows, []string{
+			d(p.Suspect), agent, f(p.FloodStart), f(p.FirstWarning),
+			f(p.QuorumAt), f(p.CutAt), f(p.LatencySec), d(p.Reports), d(p.Timeouts),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// DetectCDFCSV renders the detection-latency CDF.
+func DetectCDFCSV(w io.Writer, rep *DetectReport) error {
+	rows := [][]string{{"latency_sec", "fraction"}}
+	for _, p := range rep.CDF {
+		rows = append(rows, []string{f(p.LatencySec), f(p.Fraction)})
+	}
+	return writeAll(w, rows)
+}
+
+// DetectOverheadCSV renders the NT-overhead-per-cut summary row.
+func DetectOverheadCSV(w io.Writer, rep *DetectReport) error {
+	return writeAll(w, [][]string{
+		{"nt_messages", "cuts", "nt_per_cut", "journal_events", "journal_dropped"},
+		{u(rep.NTMessages), d(rep.Cuts), f(rep.NTPerCut), d(rep.Events), u(rep.Dropped)},
+	})
+}
+
 // FaultPointsCSV renders the fault-plane loss x churn sweep.
 func FaultPointsCSV(w io.Writer, pts []FaultPoint) error {
 	rows := [][]string{{

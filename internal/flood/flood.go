@@ -258,6 +258,10 @@ type Engine struct {
 	telDups   *telemetry.Counter // duplicate suppressions
 	telDrops  *telemetry.Counter // budget (capacity) drop events
 
+	// Latency/shape distributions, recorded per successful query.
+	telHitHops *telemetry.Histogram // hops to the nearest responder
+	telDelay   *telemetry.Histogram // first-response delay, ms
+
 	epoch    uint32
 	seen     []uint32  // epoch marks: peer received the query
 	hop      []int32   // first-visit hop count
@@ -293,6 +297,8 @@ func (e *Engine) AttachTelemetry(reg *telemetry.Registry) {
 	e.telEdges = reg.Counter("flood.edges_traversed")
 	e.telDups = reg.Counter("flood.dup_suppressed")
 	e.telDrops = reg.Counter("flood.budget_drops")
+	e.telHitHops = reg.Histogram("flood.hit_hops")
+	e.telDelay = reg.Histogram("flood.response_delay_ms")
 }
 
 // SetCounterMode switches the counter accounting plane.
@@ -393,6 +399,10 @@ func (e *Engine) FloodQuery(src PeerID, ttl int, holders []topology.NodeID, budg
 				res.ResponseDelay = e.delay[h] + float64(e.hop[h])*dm.HopDelay
 			}
 		}
+	}
+	if res.Hit {
+		e.telHitHops.Observe(uint64(res.FirstHitHops))
+		e.telDelay.Observe(uint64(res.ResponseDelay * 1000))
 	}
 	return res
 }

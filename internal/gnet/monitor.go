@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ddpolice/internal/faults"
+	"ddpolice/internal/journal"
 	"ddpolice/internal/police"
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/rng"
@@ -46,6 +47,9 @@ type evaluation struct {
 	// party) must count once, not inflate k and skew g(j,t).
 	sources map[[4]byte]struct{}
 	missing int
+	// started is when the NT round began; report arrivals observe
+	// their latency against it.
+	started time.Time
 	// deferred marks that the verdict already got its one extra
 	// half-window because every asked buddy was still silent.
 	deferred bool
@@ -171,6 +175,10 @@ func (m *monitor) closeMinute() {
 		if in <= m.cfg.WarnThreshold {
 			continue
 		}
+		m.n.journalEvent(journal.Event{
+			Type: journal.TypeWarning, Peer: int64(id),
+			Value: in, Window: m.windows,
+		})
 		if last, ok := m.lastNT[id]; ok && time.Since(last) < rateLimit {
 			continue
 		}
@@ -190,6 +198,7 @@ func (m *monitor) startEvaluation(suspect int32) {
 		suspect: suspect,
 		own:     police.Report{Out: m.prevOut[suspect], In: m.prevIn[suspect]},
 		sources: make(map[[4]byte]struct{}),
+		started: time.Now(),
 	}
 	m.pending[suspect] = ev
 	nt := protocol.NeighborTraffic{
@@ -224,6 +233,10 @@ func (m *monitor) startEvaluation(suspect int32) {
 		}
 	}
 	ev.missing = asked // members count down as reports arrive
+	m.n.journalEvent(journal.Event{
+		Type: journal.TypeNTRequest, Peer: int64(suspect),
+		K: asked, Window: m.windows,
+	})
 	m.armVerdict(suspect)
 }
 
@@ -305,14 +318,22 @@ func (m *monitor) transientAttempt(member protocol.PeerAddr, wire []byte) bool {
 	return true
 }
 
-// onNeighborTraffic handles an incoming Table 1 message: answer with
-// our own report about the same suspect, and record theirs if we are
-// evaluating that suspect.
+// onNeighborTraffic handles an incoming Table 1 message. The wire
+// format carries no request/reply flag, so solicitation state decides:
+// while we have a pending evaluation for the suspect, an incoming NT
+// is (or doubles as) a reply to our own round and is only recorded —
+// answering it would bounce NT messages between two monitors forever,
+// an echo storm the event journal made plainly visible. Unsolicited
+// messages are someone else's request and get our report back (the
+// paper's 50-second rule suppresses redundant *broadcast rounds*, not
+// answers; a member that stonewalled would be indistinguishable from a
+// cheater).
 func (m *monitor) onNeighborTraffic(from *peerConn, nt protocol.NeighborTraffic) {
 	suspect := protocol.PeerAddr{IP: nt.SuspectIP}.NodeID()
-	// Always answer a direct request (the paper's 50-second rule
-	// suppresses redundant *broadcast rounds*, not answers; a member
-	// that stonewalled would be indistinguishable from a cheater).
+	if _, waiting := m.pending[suspect]; waiting {
+		m.recordReport(nt)
+		return
+	}
 	// Because window phases differ across nodes, report the heavier of
 	// the last closed window and the current partial one — during a
 	// sustained flood this is the window that actually contains it.
@@ -324,7 +345,6 @@ func (m *monitor) onNeighborTraffic(from *peerConn, nt protocol.NeighborTraffic)
 		Incoming:  uint32(maxf(m.prevIn[suspect], m.curIn[suspect])),
 	}
 	from.send(protocol.Encode(nil, protocol.NewGUID(m.n.src), 1, 0, reply))
-	m.recordReport(nt)
 }
 
 func maxf(a, b float64) float64 {
@@ -351,6 +371,12 @@ func (m *monitor) recordReport(nt protocol.NeighborTraffic) {
 	if ev.missing > 0 {
 		ev.missing--
 	}
+	m.n.tel.ntLatency.ObserveDuration(time.Since(ev.started))
+	m.n.journalEvent(journal.Event{
+		Type: journal.TypeNTReport, Peer: int64(suspect),
+		Member: int64(protocol.PeerAddr{IP: nt.SourceIP}.NodeID()),
+		Window: m.windows,
+	})
 }
 
 // finishEvaluation computes the indicators and cuts the suspect if
@@ -369,6 +395,9 @@ func (m *monitor) finishEvaluation(suspect int32) {
 	if !ev.deferred && ev.missing > 0 && len(ev.reports) == 0 {
 		ev.deferred = true
 		m.n.tel.evalDeferred.Inc()
+		m.n.journalEvent(journal.Event{
+			Type: journal.TypeNTDefer, Peer: int64(suspect), Value: float64(ev.missing),
+		})
 		m.armVerdict(suspect)
 		return
 	}
@@ -377,7 +406,21 @@ func (m *monitor) finishEvaluation(suspect int32) {
 	if !connected {
 		return
 	}
-	g, s, _ := police.ComputeIndicators(m.cfg.Q0, ev.own, ev.reports, ev.missing)
+	if ev.missing > 0 {
+		// §3.3 timeout-as-zero: the verdict proceeds scoring each
+		// still-silent member as a zero report. Journaled distinctly
+		// from the deferral above — post-run the two used to be
+		// indistinguishable.
+		m.n.tel.evalTimeoutZero.Inc()
+		m.n.journalEvent(journal.Event{
+			Type: journal.TypeNTTimeout, Peer: int64(suspect), Value: float64(ev.missing),
+		})
+	}
+	g, s, k := police.ComputeIndicators(m.cfg.Q0, ev.own, ev.reports, ev.missing)
+	m.n.journalEvent(journal.Event{
+		Type: journal.TypeIndicator, Peer: int64(suspect),
+		G: g, S: s, K: k, Window: m.windows,
+	})
 	if g <= m.cfg.CutThreshold && s <= m.cfg.CutThreshold {
 		return
 	}
@@ -390,5 +433,8 @@ func (m *monitor) finishEvaluation(suspect int32) {
 		General: g, Single: s,
 	})
 	m.n.statsMu.Unlock()
+	m.n.journalEvent(journal.Event{
+		Type: journal.TypeCut, Peer: int64(suspect), G: g, S: s, Window: m.windows,
+	})
 	m.n.dropPeer(pc, dropCut)
 }

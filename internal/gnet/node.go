@@ -22,6 +22,7 @@ import (
 
 	"ddpolice/internal/capacity"
 	"ddpolice/internal/faults"
+	"ddpolice/internal/journal"
 	"ddpolice/internal/police"
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/rng"
@@ -82,6 +83,13 @@ type Config struct {
 	// deterministic schedule. Nil costs one pointer check at adoption
 	// time and nothing on the wire paths.
 	Faults *faults.Plan
+	// Journal, when non-nil, receives the node's detection-lifecycle
+	// events (warning_crossed, nt_request/report/defer/timeout,
+	// indicator, cut), peer-drop provenance and reconnect-supervisor
+	// activity, stamped with wall-clock seconds. Several nodes may share
+	// one journal; events interleave by arrival. Nil disables recording
+	// at a pointer check per site.
+	Journal *journal.Journal
 	// Reconnect, when non-nil, enables the self-healing supervisor:
 	// neighbors lost to transport faults (resets, read errors) are
 	// re-dialed with exponential backoff + jitter. Neighbors this node
@@ -216,6 +224,8 @@ type nodeTelemetry struct {
 	reconnectGiveups  *telemetry.Counter // backoff chains exhausted
 	reconnectBackoff  *telemetry.Gauge   // longest scheduled backoff, ms
 	evalDeferred      *telemetry.Counter // verdicts deferred for quorum
+	evalTimeoutZero   *telemetry.Counter // verdicts that scored silent members as zero
+	ntLatency         *telemetry.Histogram // NT request→report round trip, ms
 }
 
 // inboundMsg is one decoded message plus its source connection.
@@ -296,6 +306,8 @@ func NewNode(cfg Config) (*Node, error) {
 		reconnectGiveups:  cfg.Telemetry.Counter("gnet.reconnect_giveups"),
 		reconnectBackoff:  cfg.Telemetry.Gauge("gnet.reconnect_backoff_max_ms"),
 		evalDeferred:      cfg.Telemetry.Counter("gnet.evaluations_deferred"),
+		evalTimeoutZero:   cfg.Telemetry.Counter("gnet.evaluations_timeout_zero"),
+		ntLatency:         cfg.Telemetry.Histogram("gnet.nt_report_latency_ms"),
 	}
 	if cfg.Faults != nil && cfg.Telemetry != nil {
 		cfg.Faults.AttachTelemetry(cfg.Telemetry)
@@ -671,6 +683,32 @@ const (
 	dropCut                        // DD-POLICE verdict by this node
 )
 
+// String names the cause for journal provenance and logs.
+func (c dropCause) String() string {
+	switch c {
+	case dropOrderly:
+		return "orderly"
+	case dropCut:
+		return "cut"
+	default:
+		return "transport"
+	}
+}
+
+// journalEvent stamps the node identity and wall-clock seconds on e and
+// records it into the configured journal; a nil-check no-op when the
+// node has no journal.
+func (n *Node) journalEvent(e journal.Event) {
+	if n.cfg.Journal == nil {
+		return
+	}
+	e.Node = int64(n.cfg.NodeID)
+	if e.T == 0 {
+		e.T = float64(time.Now().UnixNano()) / 1e9
+	}
+	n.cfg.Journal.Record(e)
+}
+
 // dropPeer removes a neighbor (run-loop goroutine only). The cause
 // decides what happens next: dropCut marks the id permanently
 // unredialable; dropTransport starts a reconnect chain when the
@@ -684,6 +722,9 @@ func (n *Node) dropPeer(pc *peerConn, cause dropCause) {
 		if n.monitor != nil {
 			n.monitor.onNeighborDown(pc.id)
 		}
+		n.journalEvent(journal.Event{
+			Type: journal.TypePeerDrop, Peer: int64(pc.id), Detail: cause.String(),
+		})
 		switch cause {
 		case dropCut:
 			n.cutPeers[pc.id] = true
@@ -708,6 +749,10 @@ func (n *Node) scheduleReconnect(id int32, addr string, attempt int) {
 	rc := n.cfg.Reconnect
 	if attempt >= rc.MaxAttempts {
 		n.tel.reconnectGiveups.Inc()
+		n.journalEvent(journal.Event{
+			Type: journal.TypeReconnect, Peer: int64(id),
+			Detail: "giveup", Value: float64(attempt),
+		})
 		delete(n.reconnecting, id)
 		return
 	}
@@ -740,6 +785,10 @@ func (n *Node) tryReconnect(id int32, addr string, attempt int) {
 	default:
 	}
 	n.tel.reconnectAttempts.Inc()
+	n.journalEvent(journal.Event{
+		Type: journal.TypeReconnect, Peer: int64(id),
+		Detail: "attempt", Value: float64(attempt + 1),
+	})
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -756,6 +805,10 @@ func (n *Node) tryReconnect(id int32, addr string, attempt int) {
 		}
 		n.adoptConn(conn, raddr, rid, true)
 		n.tel.reconnectOK.Inc()
+		n.journalEvent(journal.Event{
+			Type: journal.TypeReconnect, Peer: int64(id),
+			Detail: "ok", Value: float64(attempt + 1),
+		})
 		select {
 		case n.ctl <- func() { delete(n.reconnecting, id) }:
 		case <-n.closed:

@@ -1,0 +1,208 @@
+// Package journal is a bounded, lock-light event journal for the
+// DD-POLICE detection lifecycle. Producers (the simulator's police
+// engine, gnet's monitor/drop/reconnect paths, the fault plane) record
+// small structured events; consumers read them back as a slice or as
+// NDJSON — one JSON object per line — for the /journal endpoint and
+// the detection-timeline analysis in cmd/ddexp.
+//
+// Timestamps are supplied by the caller: the simulator stamps logical
+// seconds from its seeded clock, so two identical-seed runs produce
+// byte-identical journals; gnet stamps wall-clock seconds. The journal
+// itself never reads a clock.
+//
+// A nil *Journal is inert — Record is a nil-check no-op — mirroring
+// the zero-cost-when-disabled contract of internal/telemetry.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event types recorded by the detection pipeline and fault plane.
+const (
+	// TypeWarning: an observer's per-minute inbound count for a
+	// neighbor crossed the warning threshold (Value = queries/min).
+	TypeWarning = "warning_crossed"
+	// TypeNTRequest: the observer started a Neighbor_Traffic round
+	// for a suspect (K = buddy members asked).
+	TypeNTRequest = "nt_request"
+	// TypeNTReport: one buddy member's NT report reached the
+	// observer (Member = reporter).
+	TypeNTReport = "nt_report"
+	// TypeNTTimeout: the verdict proceeded with missing reports
+	// treated as zero, §3.3 (Value = reports missing; in the
+	// simulator one event per silent member, Member set).
+	TypeNTTimeout = "nt_timeout"
+	// TypeNTDefer: the verdict was deferred one half-window because
+	// no reports had arrived yet (PR 2 quorum deferral).
+	TypeNTDefer = "nt_defer"
+	// TypeIndicator: indicators computed for a suspect (G = g(j,t),
+	// S = s(j,t,i), K = group size, Window = minute index).
+	TypeIndicator = "indicator"
+	// TypeCut: the observer cut the suspect (G/S as at the verdict).
+	TypeCut = "cut"
+	// TypeReconnect: reconnect supervisor activity (Detail =
+	// attempt|ok|giveup, Value = attempt number).
+	TypeReconnect = "reconnect"
+	// TypePeerDrop: a live-node connection dropped (Detail =
+	// transport|orderly|cut provenance).
+	TypePeerDrop = "peer_drop"
+	// TypeAttackStart: a flooding agent began its attack.
+	TypeAttackStart = "attack_start"
+	// TypeCrash: the fault plane crashed a peer without departure
+	// notice.
+	TypeCrash = "crash"
+	// TypePartition: a timed partition cut the overlay (Value =
+	// overlay edges cut).
+	TypePartition = "partition"
+	// TypeHeal: a timed partition healed (Value = edges restored).
+	TypeHeal = "heal"
+)
+
+// Event is one journal entry. Node is the acting/observing peer, Peer
+// the subject (suspect, dropped neighbor, crashed peer), Member a
+// third party such as the buddy member reporting. Unused fields are
+// omitted from the NDJSON encoding.
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	T      float64 `json:"t"` // seconds: logical (sim) or unix wall-clock (gnet)
+	Type   string  `json:"type"`
+	Node   int64   `json:"node,omitempty"`
+	Peer   int64   `json:"peer,omitempty"`
+	Member int64   `json:"member,omitempty"`
+	G      float64 `json:"g,omitempty"`
+	S      float64 `json:"s,omitempty"`
+	K      int     `json:"k,omitempty"`
+	Window int     `json:"window,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Journal is a bounded ring of events. When full, Record overwrites
+// the oldest entry and counts it as dropped; Seq keeps increasing, so
+// gaps in a read-back are detectable. All methods are safe for
+// concurrent use; Record takes one short mutex hold (no allocation, no
+// encoding) so it is cheap enough for verdict-path call sites.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // oldest entry once the ring is full
+	seq     uint64
+	dropped uint64
+}
+
+// New returns a journal retaining the last capacity events (minimum 1).
+func New(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{buf: make([]Event, 0, capacity)}
+}
+
+// Record stamps the next sequence number on e and appends it,
+// overwriting the oldest entry when the ring is full. No-op on nil.
+func (j *Journal) Record(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	if len(j.buf) < cap(j.buf) {
+		j.buf = append(j.buf, e)
+	} else {
+		j.buf[j.next] = e
+		j.next++
+		if j.next == len(j.buf) {
+			j.next = 0
+		}
+		j.dropped++
+	}
+	j.mu.Unlock()
+}
+
+// Len returns the number of retained events (0 on nil).
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.buf)
+}
+
+// Dropped returns how many events were overwritten (0 on nil).
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Events returns the retained events oldest-first (nil on nil).
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.buf))
+	if len(j.buf) == cap(j.buf) {
+		out = append(out, j.buf[j.next:]...)
+		out = append(out, j.buf[:j.next]...)
+	} else {
+		out = append(out, j.buf...)
+	}
+	return out
+}
+
+// Tail returns the newest n retained events oldest-first.
+func (j *Journal) Tail(n int) []Event {
+	ev := j.Events()
+	if n < 0 {
+		n = 0
+	}
+	if len(ev) > n {
+		ev = ev[len(ev)-n:]
+	}
+	return ev
+}
+
+// WriteNDJSON writes the retained events oldest-first, one JSON object
+// per line. The encoding is deterministic (fixed field order, omitted
+// zero fields), so identical journals produce identical bytes.
+func (j *Journal) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range j.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadNDJSON parses events back from an NDJSON stream (blank lines are
+// skipped). The inverse of WriteNDJSON, used by the analysis tooling
+// to consume journals written to disk.
+func ReadNDJSON(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

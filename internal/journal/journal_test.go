@@ -1,0 +1,113 @@
+package journal
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	j.Record(Event{Type: TypeCut}) // must not panic
+	if j.Len() != 0 || j.Dropped() != 0 || j.Events() != nil {
+		t.Fatalf("nil journal not inert: len=%d dropped=%d", j.Len(), j.Dropped())
+	}
+	if got := j.Tail(5); len(got) != 0 {
+		t.Fatalf("nil Tail = %v", got)
+	}
+}
+
+func TestJournalRingOverwritesOldest(t *testing.T) {
+	j := New(4)
+	for i := 1; i <= 10; i++ {
+		j.Record(Event{T: float64(i), Type: TypeNTReport})
+	}
+	ev := j.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", j.Dropped())
+	}
+	tail := j.Tail(2)
+	if len(tail) != 2 || tail[0].Seq != 9 || tail[1].Seq != 10 {
+		t.Fatalf("tail = %+v", tail)
+	}
+}
+
+func TestJournalNDJSONRoundTrip(t *testing.T) {
+	j := New(16)
+	j.Record(Event{T: 61, Type: TypeWarning, Node: 3, Peer: 9, Value: 720, Window: 1})
+	j.Record(Event{T: 61, Type: TypeIndicator, Node: 3, Peer: 9, G: 12.5, S: 0.8, K: 5, Window: 1})
+	j.Record(Event{T: 61, Type: TypeCut, Node: 3, Peer: 9, G: 12.5, S: 0.8})
+
+	var buf bytes.Buffer
+	if err := j.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("NDJSON lines = %d, want 3\n%s", got, buf.String())
+	}
+	back, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := j.Events()
+	if len(back) != len(want) {
+		t.Fatalf("round trip len = %d, want %d", len(back), len(want))
+	}
+	for i := range back {
+		if back[i] != want[i] {
+			t.Fatalf("event %d round trip = %+v, want %+v", i, back[i], want[i])
+		}
+	}
+}
+
+// TestJournalConcurrentWriters exercises Record/Events/Tail from many
+// goroutines; run under -race this is the journal's data-race gate.
+func TestJournalConcurrentWriters(t *testing.T) {
+	j := New(256)
+	const writers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Record(Event{T: float64(i), Type: TypeNTReport, Node: int64(w)})
+				if i%64 == 0 {
+					_ = j.Tail(8)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = j.Events()
+			_ = j.Len()
+			_ = j.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if j.Len() != 256 {
+		t.Fatalf("len = %d, want 256", j.Len())
+	}
+	if got := j.Dropped(); got != writers*per-256 {
+		t.Fatalf("dropped = %d, want %d", got, writers*per-256)
+	}
+	ev := j.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("seq gap in ring: %d then %d", ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+}

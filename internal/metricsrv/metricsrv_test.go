@@ -1,0 +1,113 @@
+package metricsrv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ddpolice/internal/journal"
+	"ddpolice/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("gnet.reconnect_ok").Add(3)
+	reg.Histogram("flood.hit_hops").Observe(2)
+	jr := journal.New(8)
+	for i := 0; i < 12; i++ {
+		jr.Record(journal.Event{T: float64(i), Type: journal.TypeNTReport, Peer: 7})
+	}
+	srv, err := Serve("127.0.0.1:0", Config{
+		Registry: reg,
+		Journal:  jr,
+		Health:   func() map[string]any { return map[string]any{"node_id": 42} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body, ctype := get(t, base+"/metrics")
+	if code != 200 || !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("metrics: code=%d type=%q", code, ctype)
+	}
+	for _, want := range []string{
+		"# TYPE gnet_reconnect_ok counter", "gnet_reconnect_ok 3",
+		"# TYPE flood_hit_hops histogram", `flood_hit_hops_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get(t, base+"/healthz")
+	if code != 200 {
+		t.Fatalf("healthz code = %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if doc["status"] != "ok" || doc["node_id"] != float64(42) {
+		t.Fatalf("healthz doc = %v", doc)
+	}
+	if doc["journal_events"] != float64(8) || doc["journal_dropped"] != float64(4) {
+		t.Fatalf("healthz journal fields = %v", doc)
+	}
+
+	code, body, ctype = get(t, base+"/journal?n=3")
+	if code != 200 || ctype != "application/x-ndjson" {
+		t.Fatalf("journal: code=%d type=%q", code, ctype)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal tail lines = %d:\n%s", len(lines), body)
+	}
+	var last journal.Event
+	if err := json.Unmarshal([]byte(lines[2]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Seq != 12 || last.Peer != 7 {
+		t.Fatalf("last journal event = %+v", last)
+	}
+	if code, _, _ := get(t, base+"/journal?n=bogus"); code != 400 {
+		t.Fatalf("bad n accepted: %d", code)
+	}
+}
+
+// TestServeNilInputs: the plane must degrade to empty documents, not
+// panic, when a binary enables only part of it.
+func TestServeNilInputs(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, body, _ := get(t, base+"/metrics"); code != 200 || body != "" {
+		t.Fatalf("nil metrics: code=%d body=%q", code, body)
+	}
+	if code, body, _ := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("nil healthz: code=%d body=%q", code, body)
+	}
+	if code, body, _ := get(t, base+"/journal"); code != 200 || strings.TrimSpace(body) != "" {
+		t.Fatalf("nil journal: code=%d body=%q", code, body)
+	}
+}

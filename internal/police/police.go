@@ -21,6 +21,7 @@ package police
 import (
 	"fmt"
 
+	"ddpolice/internal/journal"
 	"ddpolice/internal/overlay"
 	"ddpolice/internal/rng"
 )
@@ -188,6 +189,10 @@ type Police struct {
 	lossProb float64
 	lossSrc  *rng.Source
 
+	// jr receives detection-lifecycle events stamped with the
+	// simulator's logical clock; nil disables journaling.
+	jr *journal.Journal
+
 	// blacklist[observer][suspect] = expiry time (BlacklistSec > 0).
 	blacklist []map[PeerID]float64
 }
@@ -305,6 +310,13 @@ func (p *Police) SetControlLoss(prob float64, src *rng.Source) {
 func (p *Police) lost() bool {
 	return p.lossSrc != nil && p.lossProb > 0 && p.lossSrc.Bool(p.lossProb)
 }
+
+// SetJournal attaches an event journal recording the detection
+// lifecycle (warning → NT round → indicators → cut) with logical
+// timestamps. The protocol sweep is single-threaded and iterates peers
+// and buddy members in deterministic order, so two identical-seed runs
+// journal identical event sequences. A nil journal disables recording.
+func (p *Police) SetJournal(j *journal.Journal) { p.jr = j }
 
 // IsBad reports ground truth for peer v (error accounting only).
 func (p *Police) IsBad(v PeerID) bool { return p.isBad[v] }

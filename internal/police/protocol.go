@@ -5,6 +5,8 @@ package police
 // per-minute Out_query/In_query counters — lives in internal/overlay
 // and is read here via LastMinute.
 
+import "ddpolice/internal/journal"
+
 // Tick runs time-driven protocol work for the second ending at now
 // (seconds). In periodic mode it fires due neighbor-list exchanges.
 func (p *Police) Tick(now float64) {
@@ -205,17 +207,35 @@ func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64
 		Out: p.ov.LastMinute(observer, suspect), // Q_{i->j}
 		In:  p.ov.LastMinute(suspect, observer), // Q_{j->i}
 	}
+	p.jr.Record(journal.Event{
+		T: now, Type: journal.TypeNTRequest,
+		Node: int64(observer), Peer: int64(suspect),
+		K: len(members), Window: int(now) / 60,
+	})
 	others := make([]Report, 0, len(members))
 	missing := 0
 	for _, m := range members {
 		rOut, rIn, got := p.report(m, suspect, now)
 		if !got {
 			missing++ // missing report counts as zero but keeps its seat
+			p.jr.Record(journal.Event{
+				T: now, Type: journal.TypeNTTimeout,
+				Node: int64(observer), Peer: int64(suspect), Member: int64(m),
+			})
 			continue
 		}
 		others = append(others, Report{Out: rOut, In: rIn})
+		p.jr.Record(journal.Event{
+			T: now, Type: journal.TypeNTReport,
+			Node: int64(observer), Peer: int64(suspect), Member: int64(m),
+		})
 	}
 	g, s, k = ComputeIndicators(p.cfg.Q0, own, others, missing)
+	p.jr.Record(journal.Event{
+		T: now, Type: journal.TypeIndicator,
+		Node: int64(observer), Peer: int64(suspect),
+		G: g, S: s, K: k, Window: int(now) / 60,
+	})
 	return g, s, k, true
 }
 
@@ -253,6 +273,11 @@ func (p *Police) EvaluateMinute(now float64) {
 			if inbound <= p.cfg.WarnThreshold {
 				continue
 			}
+			p.jr.Record(journal.Event{
+				T: now, Type: journal.TypeWarning,
+				Node: int64(observer), Peer: int64(suspect),
+				Value: inbound, Window: int(now) / 60,
+			})
 			// Rate-limit Neighbor_Traffic rounds per (observer, suspect).
 			st := &p.states[observer]
 			if last, sent := st.lastReport[suspect]; sent && now-last < p.cfg.ReportRateLimit {
@@ -306,6 +331,11 @@ func (p *Police) recordCut(observer, suspect PeerID, g, s, now float64) {
 	}
 	p.detections = append(p.detections, Detection{
 		At: now, Observer: observer, Suspect: suspect, General: g, Single: s,
+	})
+	p.jr.Record(journal.Event{
+		T: now, Type: journal.TypeCut,
+		Node: int64(observer), Peer: int64(suspect), G: g, S: s,
+		Window: int(now) / 60,
 	})
 	if p.isBad[suspect] {
 		p.detected[suspect] = true

@@ -14,6 +14,7 @@ import (
 	"ddpolice/internal/capacity"
 	"ddpolice/internal/faults"
 	"ddpolice/internal/flood"
+	"ddpolice/internal/journal"
 	"ddpolice/internal/metrics"
 	"ddpolice/internal/overlay"
 	"ddpolice/internal/police"
@@ -99,6 +100,20 @@ type Config struct {
 	// and the flood engine's event counters (Result.Telemetry). Off by
 	// default; when off the instrumentation sites reduce to nil checks.
 	Telemetry bool
+
+	// Registry, when non-nil, receives the run's instruments instead of
+	// a private registry, so a live /metrics endpoint (ddsim -metrics)
+	// can snapshot mid-run. Implies instrument recording regardless of
+	// Telemetry (which additionally controls the stage timers).
+	Registry *telemetry.Registry
+
+	// Journal, when non-nil, receives the detection-lifecycle event
+	// stream (warning_crossed, nt_request/report/timeout, indicator,
+	// cut) plus attack-onset and fault-plane events, stamped with the
+	// run's logical clock. The tick loop and protocol sweep are fully
+	// deterministic, so identical-seed runs journal identical bytes.
+	// Nil disables journaling at a pointer check per site.
+	Journal *journal.Journal
 }
 
 // DefaultSimTTL is the flood TTL used by the scaled-down experiments.
@@ -305,13 +320,23 @@ func Run(cfg Config) (*Result, error) {
 		eng.SetCounterMode(flood.CounterIdeal)
 	}
 	// Observability: nil when disabled, making every Start/Stop and
-	// counter site below a nil-check no-op.
+	// counter site below a nil-check no-op. An externally supplied
+	// registry (ddsim -metrics) turns instrument recording on even when
+	// the stage timers are off.
 	var stages *telemetry.StageSet
-	var reg *telemetry.Registry
+	reg := cfg.Registry
 	if cfg.Telemetry {
 		stages = telemetry.NewStages(StageNames...)
-		reg = telemetry.New()
+		if reg == nil {
+			reg = telemetry.New()
+		}
+	}
+	if reg != nil {
 		eng.AttachTelemetry(reg)
+	}
+	jr := cfg.Journal
+	if pol != nil {
+		pol.SetJournal(jr)
 	}
 	budget := flood.NewBudget(cfg.NumPeers, cfg.GoodCapacityPerMin/60)
 	if cfg.FairShareDrop {
@@ -378,10 +403,14 @@ func Run(cfg Config) (*Result, error) {
 		for i := range parts {
 			p := &parts[i]
 			if t == p.ev.StartSec {
-				p.apply(ov, partCutCtr)
+				if cut := p.apply(ov, partCutCtr); cut > 0 {
+					jr.Record(journal.Event{T: now, Type: journal.TypePartition, Value: float64(cut)})
+				}
 			}
 			if t == p.ev.EndSec {
-				p.heal(ov, partHealCtr)
+				if healed := p.heal(ov, partHealCtr); healed > 0 {
+					jr.Record(journal.Event{T: now, Type: journal.TypeHeal, Value: float64(healed)})
+				}
 			}
 		}
 
@@ -403,6 +432,7 @@ func Run(cfg Config) (*Result, error) {
 						pol.NotifyJoin(overlay.PeerID(v), now)
 					} else if churn.Crashed(overlay.PeerID(v)) {
 						crashCtr.Inc()
+						jr.Record(journal.Event{T: now, Type: journal.TypeCrash, Peer: int64(v)})
 					} else {
 						pol.NotifyLeave(overlay.PeerID(v), now)
 					}
@@ -423,6 +453,9 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 			events.attackStart(now, fleet.IDs())
+			for _, a := range fleet.Agents() {
+				jr.Record(journal.Event{T: now, Type: journal.TypeAttackStart, Peer: int64(a.ID)})
+			}
 		}
 
 		// 2. First half of the tick's attack volume.
@@ -553,6 +586,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Telemetry {
 		res.Stages = stages.Snapshot()
+	}
+	if reg != nil {
 		snap := reg.Snapshot()
 		res.Telemetry = &snap
 	}
@@ -572,12 +607,18 @@ type partitionState struct {
 	healed   bool
 }
 
-func (p *partitionState) apply(ov *overlay.Overlay, ctr *telemetry.Counter) {
+func (p *partitionState) apply(ov *overlay.Overlay, ctr *telemetry.Counter) int {
 	if p.applied {
-		return
+		return 0
 	}
 	p.applied = true
-	for m := range p.members {
+	// Iterate the event's peer slice, not the member-set map: map order
+	// varies between runs, and cutEdges order feeds deterministic
+	// outputs (the event journal must be byte-identical across
+	// identical-seed runs).
+	cut := 0
+	for _, pid := range p.ev.Peers {
+		m := overlay.PeerID(pid)
 		for _, w := range ov.Graph().Neighbors(m) {
 			if _, in := p.members[w]; in {
 				continue
@@ -588,20 +629,25 @@ func (p *partitionState) apply(ov *overlay.Overlay, ctr *telemetry.Counter) {
 			if err := ov.Cut(m, w); err == nil {
 				p.cutEdges = append(p.cutEdges, [2]overlay.PeerID{m, w})
 				ctr.Inc()
+				cut++
 			}
 		}
 	}
+	return cut
 }
 
-func (p *partitionState) heal(ov *overlay.Overlay, ctr *telemetry.Counter) {
+func (p *partitionState) heal(ov *overlay.Overlay, ctr *telemetry.Counter) int {
 	if !p.applied || p.healed {
-		return
+		return 0
 	}
 	p.healed = true
+	healed := 0
 	for _, e := range p.cutEdges {
 		if ov.IsCut(e[0], e[1]) {
 			ov.Uncut(e[0], e[1])
 			ctr.Inc()
+			healed++
 		}
 	}
+	return healed
 }

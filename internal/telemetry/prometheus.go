@@ -1,0 +1,81 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4) for a Snapshot.
+// This is the rendering half of the /metrics plane; the HTTP half
+// lives in internal/metricsrv so telemetry keeps zero net/http
+// dependencies.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromName maps an instrument name to a legal Prometheus metric name:
+// every character outside [a-zA-Z0-9_:] becomes '_' (dots separate
+// subsystems in this codebase, e.g. "gnet.reconnect_ok" →
+// "gnet_reconnect_ok"), and a leading digit gains a '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format. Counters and gauges map directly; timers render
+// as summaries in seconds (<name>_seconds_sum / <name>_seconds_count);
+// histograms render with cumulative <name>_bucket{le="..."} series
+// plus _sum and _count, in the unit the instrument was fed. Output
+// order follows the snapshot's sorted-by-name order, so identical
+// snapshots render byte-identically.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		n := PromName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := PromName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, t := range s.Timers {
+		n := PromName(t.Name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_sum %g\n%s_count %d\n",
+			n, n, t.Total.Seconds(), n, t.Count); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		n := PromName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.Le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, h.Count, n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

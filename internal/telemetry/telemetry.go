@@ -19,6 +19,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -124,24 +125,80 @@ func (t *Timer) Count() uint64 {
 	return t.n.Load()
 }
 
+// histogramBuckets is the number of log₂ buckets: bucket 0 holds the
+// value 0, bucket i (1..64) holds values in [2^(i-1), 2^i).
+const histogramBuckets = 65
+
+// Histogram is a log₂-bucketed distribution of non-negative integer
+// observations (latencies in some unit, hop counts, sizes). Bucket
+// index is bits.Len64(v), so recording is a couple of atomic adds and
+// no floating point. The zero value is ready; a nil Histogram discards
+// all updates, preserving the package's zero-cost-when-disabled
+// contract.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histogramBuckets]atomic.Uint64
+}
+
+// Observe folds in one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// ObserveDuration folds in a duration as integer milliseconds
+// (negative durations clamp to zero).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d / time.Millisecond))
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
 // Registry names and owns a set of instruments. Instrument lookup
 // takes the registry lock; the returned pointers record lock-free, so
 // hot paths resolve their instruments once and keep them. A nil
 // *Registry returns nil instruments from every lookup, which is how
 // "telemetry disabled" propagates through instrumented code.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -193,6 +250,22 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = new(Histogram)
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // CounterValue is one named counter reading.
 type CounterValue struct {
 	Name  string
@@ -212,12 +285,66 @@ type TimerValue struct {
 	Count uint64
 }
 
+// Mean returns the average observed duration (0 with no observations).
+func (t TimerValue) Mean() time.Duration {
+	if t.Count == 0 {
+		return 0
+	}
+	return t.Total / time.Duration(t.Count)
+}
+
+// HistogramBucket is one occupied log₂ bucket: Count observations with
+// value ≤ Le (and greater than the previous bucket's Le).
+type HistogramBucket struct {
+	Le    uint64 // inclusive upper bound (2^i − 1)
+	Count uint64
+}
+
+// HistogramValue is one named histogram reading. Buckets holds only
+// the occupied buckets, in ascending bound order.
+type HistogramValue struct {
+	Name    string
+	Count   uint64
+	Sum     uint64
+	Buckets []HistogramBucket
+}
+
+// Mean returns the average observed value (0 with no observations).
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns the upper bound of the bucket containing the
+// q-quantile observation (q in [0,1]); 0 with no observations. The
+// answer is exact to within the bucket's power-of-two resolution.
+func (h HistogramValue) Quantile(q float64) uint64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen uint64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if rank < seen {
+			return b.Le
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1].Le
+}
+
 // Snapshot is a point-in-time reading of every instrument, sorted by
 // name within each kind.
 type Snapshot struct {
-	Counters []CounterValue
-	Gauges   []GaugeValue
-	Timers   []TimerValue
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Timers     []TimerValue
+	Histograms []HistogramValue
 }
 
 // Snapshot reads every instrument. Safe to call while recording
@@ -239,43 +366,95 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, t := range r.timers {
 		s.Timers = append(s.Timers, TimerValue{Name: name, Total: t.Total(), Count: t.Count()})
 	}
+	for name, h := range r.histograms {
+		hv := HistogramValue{Name: name, Count: h.count.Load(), Sum: h.sum.Load()}
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			le := ^uint64(0)
+			if i < 64 {
+				le = 1<<uint(i) - 1
+			}
+			hv.Buckets = append(hv.Buckets, HistogramBucket{Le: le, Count: n})
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Timers, func(i, j int) bool { return s.Timers[i].Name < s.Timers[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
 }
 
 // Clone deep-copies the snapshot (its slices share no storage with s).
 func (s Snapshot) Clone() Snapshot {
-	return Snapshot{
-		Counters: append([]CounterValue(nil), s.Counters...),
-		Gauges:   append([]GaugeValue(nil), s.Gauges...),
-		Timers:   append([]TimerValue(nil), s.Timers...),
+	c := Snapshot{
+		Counters:   append([]CounterValue(nil), s.Counters...),
+		Gauges:     append([]GaugeValue(nil), s.Gauges...),
+		Timers:     append([]TimerValue(nil), s.Timers...),
+		Histograms: append([]HistogramValue(nil), s.Histograms...),
 	}
+	for i := range c.Histograms {
+		c.Histograms[i].Buckets = append([]HistogramBucket(nil), c.Histograms[i].Buckets...)
+	}
+	return c
 }
 
-// WriteTable renders the snapshot as an aligned text table.
+// WriteTable renders the snapshot as aligned text tables, one section
+// per instrument kind. Each section is flushed independently so its
+// column widths — and therefore the rendered bytes — depend only on
+// that section's rows, keeping output stable for golden-file
+// comparison. Rows are in Snapshot's sorted-by-name order.
 func (s Snapshot) WriteTable(w io.Writer) error {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	flush := func(emit func(tw *tabwriter.Writer)) error {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		emit(tw)
+		return tw.Flush()
+	}
 	if len(s.Counters) > 0 {
-		fmt.Fprintln(tw, "counter\tvalue")
-		for _, c := range s.Counters {
-			fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
+		if err := flush(func(tw *tabwriter.Writer) {
+			fmt.Fprintln(tw, "counter\tvalue")
+			for _, c := range s.Counters {
+				fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
+			}
+		}); err != nil {
+			return err
 		}
 	}
 	if len(s.Gauges) > 0 {
-		fmt.Fprintln(tw, "gauge\tvalue")
-		for _, g := range s.Gauges {
-			fmt.Fprintf(tw, "%s\t%d\n", g.Name, g.Value)
+		if err := flush(func(tw *tabwriter.Writer) {
+			fmt.Fprintln(tw, "gauge\tvalue")
+			for _, g := range s.Gauges {
+				fmt.Fprintf(tw, "%s\t%d\n", g.Name, g.Value)
+			}
+		}); err != nil {
+			return err
 		}
 	}
 	if len(s.Timers) > 0 {
-		fmt.Fprintln(tw, "timer\ttotal\tcount")
-		for _, t := range s.Timers {
-			fmt.Fprintf(tw, "%s\t%v\t%d\n", t.Name, t.Total, t.Count)
+		if err := flush(func(tw *tabwriter.Writer) {
+			fmt.Fprintln(tw, "timer\ttotal\tcount\tmean")
+			for _, t := range s.Timers {
+				fmt.Fprintf(tw, "%s\t%v\t%d\t%v\n", t.Name, t.Total, t.Count, t.Mean())
+			}
+		}); err != nil {
+			return err
 		}
 	}
-	return tw.Flush()
+	if len(s.Histograms) > 0 {
+		if err := flush(func(tw *tabwriter.Writer) {
+			fmt.Fprintln(tw, "histogram\tcount\tmean\tp50\tp95\tmax")
+			for _, h := range s.Histograms {
+				fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%d\t%d\n",
+					h.Name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(1))
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stage is one stage's cumulative wall-clock reading.

@@ -17,16 +17,22 @@ func TestNilSafety(t *testing.T) {
 	c := r.Counter("x")
 	g := r.Gauge("x")
 	tm := r.Timer("x")
+	h := r.Histogram("x")
 	c.Inc()
 	c.Add(5)
 	g.Set(3)
 	g.SetMax(9)
 	tm.Add(time.Second)
 	tm.Observe(time.Now())
+	h.Observe(42)
+	h.ObserveDuration(time.Second)
 	if c.Load() != 0 || g.Load() != 0 || tm.Total() != 0 || tm.Count() != 0 {
 		t.Fatal("nil instruments retained data")
 	}
-	if snap := r.Snapshot(); len(snap.Counters)+len(snap.Gauges)+len(snap.Timers) != 0 {
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram retained data")
+	}
+	if snap := r.Snapshot(); len(snap.Counters)+len(snap.Gauges)+len(snap.Timers)+len(snap.Histograms) != 0 {
 		t.Fatal("nil registry produced a non-empty snapshot")
 	}
 	var s *StageSet
@@ -104,6 +110,152 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 	if got := tm.Count(); got != workers*per {
 		t.Fatalf("timer count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	if r.Histogram("lat") != h {
+		t.Fatal("lookup did not return the same histogram")
+	}
+	// 0 → bucket 0 (le 0); 1 → le 1; 5,7 → le 7; 100 → le 127.
+	for _, v := range []uint64{0, 1, 5, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 113 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	hv := r.Snapshot().Histograms[0]
+	wantBuckets := []HistogramBucket{{Le: 0, Count: 1}, {Le: 1, Count: 1}, {Le: 7, Count: 2}, {Le: 127, Count: 1}}
+	if len(hv.Buckets) != len(wantBuckets) {
+		t.Fatalf("buckets = %+v", hv.Buckets)
+	}
+	for i, b := range hv.Buckets {
+		if b != wantBuckets[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, wantBuckets[i])
+		}
+	}
+	if got := hv.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %d", got)
+	}
+	if got := hv.Quantile(0.5); got != 7 {
+		t.Fatalf("p50 = %d, want 7", got)
+	}
+	if got := hv.Quantile(1); got != 127 {
+		t.Fatalf("p100 = %d, want 127", got)
+	}
+	if got := hv.Mean(); got != 113.0/5 {
+		t.Fatalf("mean = %g", got)
+	}
+	// ObserveDuration records integer milliseconds, clamping negatives.
+	h2 := r.Histogram("dur")
+	h2.ObserveDuration(3 * time.Millisecond)
+	h2.ObserveDuration(-time.Second)
+	if h2.Count() != 2 || h2.Sum() != 3 {
+		t.Fatalf("duration histogram count=%d sum=%d", h2.Count(), h2.Sum())
+	}
+}
+
+// TestHistogramConcurrent is part of the -race CI gate: many writers,
+// one snapshotting reader.
+func TestHistogramConcurrent(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(i))
+				if i%200 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var inBuckets uint64
+	for _, b := range r.Snapshot().Histograms[0].Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != workers*per {
+		t.Fatalf("bucket total = %d, want %d", inBuckets, workers*per)
+	}
+}
+
+func TestWriteTableDeterministicWithMean(t *testing.T) {
+	r := New()
+	r.Counter("sim.queries").Add(12)
+	r.Gauge("gnet.inbox_hwm").Set(7)
+	r.Timer("stage.flood").Add(10 * time.Millisecond)
+	r.Timer("stage.flood").Add(30 * time.Millisecond)
+	r.Histogram("flood.hit_hops").Observe(3)
+	snap := r.Snapshot()
+	var a, b bytes.Buffer
+	if err := snap.WriteTable(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteTable is not deterministic for the same snapshot")
+	}
+	if !strings.Contains(a.String(), "mean") || !strings.Contains(a.String(), "20ms") {
+		t.Fatalf("timer mean missing:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), "histogram") || !strings.Contains(a.String(), "p95") {
+		t.Fatalf("histogram section missing:\n%s", a.String())
+	}
+	// A long name in one section must not disturb another section's
+	// column widths (per-section flush): rendering only the timer
+	// section yields the same timer lines as the full table.
+	timerOnly := Snapshot{Timers: snap.Timers}
+	var c bytes.Buffer
+	if err := timerOnly.WriteTable(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), strings.TrimSuffix(c.String(), "\n")) {
+		t.Fatalf("timer section depends on other sections:\nfull:\n%s\ntimers only:\n%s", a.String(), c.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("gnet.reconnect_ok").Add(2)
+	r.Gauge("gnet.inbox_hwm").Set(5)
+	r.Timer("stage.flood").Add(1500 * time.Millisecond)
+	h := r.Histogram("flood.hit_hops")
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(3)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE gnet_reconnect_ok counter\ngnet_reconnect_ok 2\n",
+		"# TYPE gnet_inbox_hwm gauge\ngnet_inbox_hwm 5\n",
+		"# TYPE stage_flood_seconds summary\nstage_flood_seconds_sum 1.5\nstage_flood_seconds_count 1\n",
+		"flood_hit_hops_bucket{le=\"0\"} 1\n",
+		"flood_hit_hops_bucket{le=\"3\"} 3\n",
+		"flood_hit_hops_bucket{le=\"+Inf\"} 3\n",
+		"flood_hit_hops_sum 6\n",
+		"flood_hit_hops_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := PromName("9flood.hit-hops"); got != "_9flood_hit_hops" {
+		t.Fatalf("PromName = %q", got)
 	}
 }
 

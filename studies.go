@@ -6,10 +6,12 @@ package ddpolice
 
 import (
 	"fmt"
+	"sort"
 
 	"ddpolice/internal/capacity"
 	"ddpolice/internal/chord"
 	"ddpolice/internal/faults"
+	"ddpolice/internal/journal"
 	"ddpolice/internal/metrics"
 	"ddpolice/internal/rng"
 )
@@ -349,6 +351,172 @@ func runChord(scale Scale, agents int) (chordOutcome, error) {
 		outcome.success = float64(ok) / float64(issued)
 	}
 	return outcome, nil
+}
+
+// DetectPoint is one suspect's detection timeline, reconstructed from
+// the event journal: when its flood became visible, when the first
+// observer crossed the warning threshold, when the first full
+// Neighbor_Traffic round completed, and when the first edge was cut.
+type DetectPoint struct {
+	Suspect      int
+	Agent        bool    // true when the suspect is a DDoS agent
+	FloodStart   float64 // attack onset (agents) or first warning (good peers)
+	FirstWarning float64
+	QuorumAt     float64 // first completed indicator computation
+	CutAt        float64
+	LatencySec   float64 // CutAt - FloodStart
+	Reports      int     // nt_report events before the first cut
+	Timeouts     int     // nt_timeout events before the first cut
+}
+
+// DetectCDFPoint is one step of the detection-latency CDF.
+type DetectCDFPoint struct {
+	LatencySec float64
+	Fraction   float64
+}
+
+// DetectReport is the journal-driven detection-pipeline study output.
+type DetectReport struct {
+	Points     []DetectPoint
+	CDF        []DetectCDFPoint
+	NTMessages uint64  // Neighbor_Traffic messages sent over the run
+	Cuts       int     // cut events in the journal
+	NTPerCut   float64 // NT overhead amortized per cut
+	Events     int     // journal occupancy after the run
+	Dropped    uint64  // events lost to the ring bound
+}
+
+// DetectTimelines reconstructs per-suspect detection timelines from a
+// journal's events. Only suspects that were actually cut yield a
+// point; counts cover the window up to each suspect's first cut, so a
+// later re-detection round does not inflate the first one's cost.
+func DetectTimelines(events []journal.Event) []DetectPoint {
+	attackAt := map[int64]float64{}
+	for _, e := range events {
+		if e.Type == journal.TypeAttackStart {
+			attackAt[e.Peer] = e.T
+		}
+	}
+	type track struct {
+		warning, quorum, cut float64
+		hasWarn, hasQuorum   bool
+		reports, timeouts    int
+	}
+	tracks := map[int64]*track{}
+	at := func(id int64) *track {
+		tr, ok := tracks[id]
+		if !ok {
+			tr = &track{cut: -1}
+			tracks[id] = tr
+		}
+		return tr
+	}
+	for _, e := range events {
+		tr := at(e.Peer)
+		if tr.cut >= 0 {
+			continue // timeline frozen at the first cut
+		}
+		switch e.Type {
+		case journal.TypeWarning:
+			if !tr.hasWarn {
+				tr.warning, tr.hasWarn = e.T, true
+			}
+		case journal.TypeIndicator:
+			if !tr.hasQuorum {
+				tr.quorum, tr.hasQuorum = e.T, true
+			}
+		case journal.TypeNTReport:
+			tr.reports++
+		case journal.TypeNTTimeout:
+			tr.timeouts++
+		case journal.TypeCut:
+			tr.cut = e.T
+		}
+	}
+	ids := make([]int64, 0, len(tracks))
+	for id, tr := range tracks {
+		if tr.cut >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]DetectPoint, 0, len(ids))
+	for _, id := range ids {
+		tr := tracks[id]
+		p := DetectPoint{
+			Suspect:      int(id),
+			FirstWarning: tr.warning,
+			QuorumAt:     tr.quorum,
+			CutAt:        tr.cut,
+			Reports:      tr.reports,
+			Timeouts:     tr.timeouts,
+		}
+		if start, isAgent := attackAt[id]; isAgent {
+			p.Agent = true
+			p.FloodStart = start
+		} else {
+			// A collateral good peer never "started flooding"; its
+			// pipeline latency runs from the first warning instead.
+			p.FloodStart = tr.warning
+		}
+		p.LatencySec = p.CutAt - p.FloodStart
+		out = append(out, p)
+	}
+	return out
+}
+
+// detectCDF turns the per-suspect latencies into an empirical CDF.
+func detectCDF(pts []DetectPoint) []DetectCDFPoint {
+	lat := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		lat = append(lat, p.LatencySec)
+	}
+	sort.Float64s(lat)
+	out := make([]DetectCDFPoint, 0, len(lat))
+	for i, v := range lat {
+		out = append(out, DetectCDFPoint{
+			LatencySec: v,
+			Fraction:   float64(i+1) / float64(len(lat)),
+		})
+	}
+	return out
+}
+
+// DetectStudy runs one seeded attack scenario with the event journal
+// attached and reconstructs the detection pipeline's behaviour from
+// it: per-suspect timelines, the detection-latency CDF, and the
+// Neighbor_Traffic overhead amortized per cut. It runs a single
+// simulation (not a seed average) because the journal narrates one
+// run; scale.Seed picks which.
+func DetectStudy(scale Scale) (*DetectReport, error) {
+	cfg := scale.baseConfig()
+	cfg.NumAgents = scale.TimelineAgents
+	cfg.PoliceEnabled = true
+	jr := journal.New(1 << 16)
+	cfg.Journal = jr
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	events := jr.Events()
+	cuts := 0
+	for _, e := range events {
+		if e.Type == journal.TypeCut {
+			cuts++
+		}
+	}
+	rep := &DetectReport{
+		Points:     DetectTimelines(events),
+		NTMessages: res.Overhead.NeighborTrafficMsgs,
+		Cuts:       cuts,
+		Events:     jr.Len(),
+		Dropped:    jr.Dropped(),
+	}
+	rep.CDF = detectCDF(rep.Points)
+	if cuts > 0 {
+		rep.NTPerCut = float64(rep.NTMessages) / float64(cuts)
+	}
+	return rep, nil
 }
 
 // FaultPoint is one cell of the fault-plane sweep: DD-POLICE judgment
