@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: ci build vet test race chaos smoke bench telemetry
+.PHONY: ci build vet test race chaos smoke bench benchsmoke benchgo telemetry
 
 # ci is the gate: static checks, full build, full tests, then a short
 # race pass over the packages with real concurrency (the live TCP node
 # and the parallel replica runner), then the chaos pass (fault
 # injection, reconnect supervision, transient-dial recovery), then the
-# metrics smoke (a live ddnode answering /metrics and /healthz).
-ci: vet build test race chaos smoke
+# metrics smoke (a live ddnode answering /metrics and /healthz), then a
+# one-iteration pass over the pinned benchmark suite (exercises every
+# bench fixture; no timing gate, no BENCH.json update).
+ci: vet build test race chaos smoke benchsmoke
 
 build:
 	$(GO) build ./...
@@ -38,7 +40,22 @@ chaos:
 smoke:
 	./scripts/metrics_smoke.sh
 
+# bench regenerates the committed perf trajectory (BENCH.json) from the
+# pinned suite in cmd/ddbench and enforces the traversal-cache gate
+# (cached vs uncached 2k-peer tick loop must stay >= 1.5x). Timings are
+# machine-relative: compare the derived ratios across commits, not raw
+# ns across machines.
 bench:
+	$(GO) run ./cmd/ddbench -out BENCH.json -gate
+
+# benchsmoke runs every benchmark fixture once, with no warmup and no
+# gate — a compile-and-execute check for ci, cheap enough to run always.
+benchsmoke:
+	$(GO) run ./cmd/ddbench -quick -out /tmp/BENCH.quick.json
+
+# benchgo runs the per-figure go test benchmarks (paper regeneration
+# paths); the pinned perf trajectory lives in `make bench` / BENCH.json.
+benchgo:
 	$(GO) test -bench . -benchtime 1x ./...
 
 telemetry:

@@ -2,8 +2,13 @@ package ddpolice
 
 // One benchmark per table and figure of the paper's evaluation. Each
 // bench regenerates its figure's data at QuickScale per iteration, so
-// `go test -bench .` replays the whole evaluation; cmd/ddexp runs the
-// same harness at PaperScale and prints the rows.
+// `go test -bench .` (or `make benchgo`) replays the whole evaluation;
+// cmd/ddexp runs the same harness at PaperScale and prints the rows.
+//
+// These benches answer "does the evaluation still reproduce, and how
+// long does a figure take" — the pinned perf *trajectory* (fixed
+// fixtures, committed BENCH.json, the traversal-cache speedup gate)
+// lives in cmd/ddbench, run via `make bench`.
 
 import (
 	"testing"

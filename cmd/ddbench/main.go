@@ -1,0 +1,308 @@
+// Command ddbench runs the pinned performance suite and emits
+// BENCH.json: per-benchmark ns/op and allocs/op plus throughput
+// metrics, and the derived cached-vs-uncached tick-loop speedup the
+// perf gate enforces.
+//
+// Usage:
+//
+//	go run ./cmd/ddbench              # full suite -> BENCH.json
+//	go run ./cmd/ddbench -gate        # full suite, fail if speedup < 1.5
+//	go run ./cmd/ddbench -quick       # 1-iteration smoke, no gate
+//
+// Unlike `go test -bench`, the suite is a fixed list with fixed
+// iteration counts, so successive commits produce comparable rows: the
+// JSON is committed and reviewed as a perf trajectory, not regenerated
+// noise. Timings are wall-clock on whatever machine runs it — compare
+// ratios (and the derived speedup) across commits, not absolute ns
+// across machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ddpolice/internal/flood"
+	"ddpolice/internal/gnet"
+	"ddpolice/internal/overlay"
+	"ddpolice/internal/police"
+	"ddpolice/internal/rng"
+	"ddpolice/internal/sim"
+	"ddpolice/internal/topology"
+)
+
+// Benchmark is one BENCH.json row.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the BENCH.json document.
+type Output struct {
+	GeneratedBy string             `json:"generated_by"`
+	Quick       bool               `json:"quick,omitempty"`
+	Benchmarks  []Benchmark        `json:"benchmarks"`
+	Derived     map[string]float64 `json:"derived"`
+}
+
+var (
+	quick   = flag.Bool("quick", false, "one iteration per benchmark, no warmup, no gate (CI smoke)")
+	out     = flag.String("out", "BENCH.json", "output file")
+	gate    = flag.Bool("gate", false, "fail when tick_2k_speedup < -gatemin (ignored with -quick)")
+	gateMin = flag.Float64("gatemin", 1.5, "minimum accepted cached/uncached tick-loop speedup")
+)
+
+// measure times iters calls of op (after warmup warmup calls) and
+// reports mean ns/op and heap allocations/op.
+func measure(name string, warmup, iters int, op func(i int)) Benchmark {
+	if *quick {
+		warmup, iters = 0, 1
+	}
+	for i := 0; i < warmup; i++ {
+		op(i)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		op(i)
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	b := Benchmark{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		Metrics:     map[string]float64{},
+	}
+	fmt.Printf("%-28s %10d iters  %14.0f ns/op  %10.1f allocs/op\n",
+		name, iters, b.NsPerOp, b.AllocsPerOp)
+	return b
+}
+
+const benchPeers = 2000
+
+// floodFixture is one overlay + engine + budget set over the pinned
+// 2k-peer Barabási–Albert graph.
+type floodFixture struct {
+	ov     *overlay.Overlay
+	eng    *flood.Engine
+	budget *flood.Budget
+	srcs   []flood.PeerID
+}
+
+func newFloodFixture(cached bool) *floodFixture {
+	g, err := topology.BarabasiAlbert(rng.New(7), benchPeers, 3)
+	if err != nil {
+		fatal(err)
+	}
+	ov := overlay.New(g)
+	eng := flood.NewEngine(ov)
+	eng.SetTraversalCache(cached)
+	f := &floodFixture{
+		ov:     ov,
+		eng:    eng,
+		budget: flood.NewBudget(benchPeers, 1000.0/60), // capacity.EffectiveForwardPerMin per tick
+	}
+	for i := 0; i < 64; i++ {
+		f.srcs = append(f.srcs, flood.PeerID((i*31)%benchPeers))
+	}
+	return f
+}
+
+func benchFloodQuery(cached bool) Benchmark {
+	f := newFloodFixture(cached)
+	holders := []topology.NodeID{17, 203, 641, 988, 1337, 1650, 1801, 1999}
+	dm := flood.DefaultDelayModel()
+	name := "flood_query_2k_uncached"
+	if cached {
+		name = "flood_query_2k_cached"
+	}
+	processed := 0
+	// Warmup cycles the source set past the cache's stability threshold
+	// so the measured loop runs on built trees (replay path).
+	b := measure(name, 512, 5000, func(i int) {
+		f.budget.Refill()
+		qr := f.eng.FloodQuery(f.srcs[i%len(f.srcs)], sim.DefaultSimTTL, holders, f.budget, dm)
+		processed += qr.Processed
+	})
+	b.Metrics["peers_per_sec"] = float64(processed) / float64(b.Iters) / (b.NsPerOp / 1e9)
+	return b
+}
+
+func benchFloodBatch(cached bool) Benchmark {
+	f := newFloodFixture(cached)
+	name := "flood_batch_2k_uncached"
+	if cached {
+		name = "flood_batch_2k_cached"
+	}
+	reached := 0
+	b := measure(name, 512, 5000, func(i int) {
+		f.budget.Refill()
+		br := f.eng.FloodBatch(f.srcs[i%len(f.srcs)], -1, sim.DefaultSimTTL, 8, f.budget)
+		reached += br.PeersReached
+	})
+	b.Metrics["peers_per_sec"] = float64(reached) / float64(b.Iters) / (b.NsPerOp / 1e9)
+	return b
+}
+
+// benchSimTick times full sim runs and reports per-tick cost: the
+// steady-topology (no churn, no attack) query/flood loop that the
+// traversal cache accelerates. Full mode keeps the best of three runs
+// per mode so scheduler noise does not leak into the committed ratio.
+func benchSimTick(name string, peers, durationSec int, disableCache bool) Benchmark {
+	cfg := sim.DefaultConfig()
+	cfg.NumPeers = peers
+	cfg.DurationSec = durationSec
+	cfg.ChurnEnabled = false
+	cfg.DisableFloodCache = disableCache
+	runs := 3
+	if *quick {
+		runs = 1
+	}
+	var best Benchmark
+	for r := 0; r < runs; r++ {
+		b := measure(fmt.Sprintf("%s(run%d)", name, r+1), 0, 1, func(int) {
+			if _, err := sim.Run(cfg); err != nil {
+				fatal(err)
+			}
+		})
+		if r == 0 || b.NsPerOp < best.NsPerOp {
+			best = b
+		}
+	}
+	best.Name = name
+	best.NsPerOp /= float64(durationSec) // per simulated tick
+	best.Metrics["ticks_per_sec"] = 1e9 / best.NsPerOp
+	best.Metrics["peers_per_sec"] = float64(peers) * 1e9 / best.NsPerOp
+	fmt.Printf("%-28s %31.0f ns/tick %14.0f peers/sec\n", name, best.NsPerOp, best.Metrics["peers_per_sec"])
+	return best
+}
+
+// benchPoliceEvaluate times the per-minute DD-POLICE sweep (Tick +
+// EvaluateMinute) over a quiet 2k-peer overlay: the steady-state cost
+// every simulated minute pays whether or not an attack is running.
+func benchPoliceEvaluate() Benchmark {
+	g, err := topology.BarabasiAlbert(rng.New(7), benchPeers, 3)
+	if err != nil {
+		fatal(err)
+	}
+	ov := overlay.New(g)
+	pol, err := police.New(ov, police.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	for v := 0; v < benchPeers; v++ {
+		pol.NotifyJoin(overlay.PeerID(v), 0)
+	}
+	now := 0.0
+	b := measure("police_evaluate_2k", 5, 60, func(int) {
+		now += 60
+		ov.RollMinute()
+		pol.Tick(now)
+		pol.EvaluateMinute(now)
+	})
+	b.Metrics["peers_per_sec"] = benchPeers / (b.NsPerOp / 1e9)
+	return b
+}
+
+// benchGnetNTRound times one full Neighbor_Traffic evaluation round
+// over live TCP: the observer asks 8 buddy-group members about a
+// suspect and collects every report before the verdict. Dominated by
+// real socket round-trips, so treat it as a latency row, not a CPU one.
+func benchGnetNTRound() Benchmark {
+	const members = 8
+	tb := topology.NewBuilder(2 + members)
+	check(tb.AddEdge(0, 1))
+	for i := 0; i < members; i++ {
+		check(tb.AddEdge(0, topology.NodeID(2+i)))
+	}
+	pcfg := police.DefaultConfig()
+	h, err := gnet.NewHarness(tb.Build(), func(i int, cfg *gnet.Config) {
+		cfg.Police = &pcfg
+		cfg.MinuteLength = time.Hour // rounds driven by hand
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer h.Close()
+	observer := h.Node(0)
+	const suspect = int32(2)
+	memberIDs := make([]int32, members)
+	for i := range memberIDs {
+		memberIDs[i] = int32(3 + i)
+	}
+	check(observer.BenchPrimeSuspect(suspect, memberIDs, 20, 20))
+	b := measure("gnet_nt_round", 3, 25, func(int) {
+		got, err := observer.BenchNTRound(suspect, 5*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		if got != members {
+			fatal(fmt.Errorf("nt round collected %d/%d reports", got, members))
+		}
+	})
+	b.Metrics["reports_per_op"] = members
+	b.Metrics["reports_per_sec"] = members / (b.NsPerOp / 1e9)
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	flag.Parse()
+	tickDur := 600
+	tick10kDur := 300
+	if *quick {
+		tickDur, tick10kDur = 120, 60
+	}
+	doc := Output{GeneratedBy: "cmd/ddbench", Quick: *quick, Derived: map[string]float64{}}
+
+	doc.Benchmarks = append(doc.Benchmarks,
+		benchFloodQuery(true),
+		benchFloodQuery(false),
+		benchFloodBatch(true),
+		benchFloodBatch(false),
+	)
+	cached := benchSimTick("sim_tick_2k_cached", benchPeers, tickDur, false)
+	uncached := benchSimTick("sim_tick_2k_uncached", benchPeers, tickDur, true)
+	doc.Benchmarks = append(doc.Benchmarks, cached, uncached,
+		benchSimTick("sim_tick_10k_cached", 10000, tick10kDur, false),
+		benchPoliceEvaluate(),
+		benchGnetNTRound(),
+	)
+
+	speedup := uncached.NsPerOp / cached.NsPerOp
+	doc.Derived["tick_2k_speedup"] = speedup
+	fmt.Printf("derived: tick_2k_speedup = %.2fx\n", speedup)
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *gate && !*quick && speedup < *gateMin {
+		fatal(fmt.Errorf("perf gate: tick_2k_speedup %.2fx < %.2fx", speedup, *gateMin))
+	}
+}

@@ -53,9 +53,16 @@ type Budget struct {
 	// Fair-share mode: per-directed-edge sub-budgets for the receiving
 	// endpoint of each edge. edgeRemaining[e] caps what may arrive over
 	// e this tick; the peer-level Remaining still applies on top.
+	// fairVersion keys the shares to the overlay mutation counter:
+	// churn and cuts change each peer's active connection count, so the
+	// per-connection split is recomputed at the first Refill after any
+	// connectivity change (previously the split was sized from the
+	// static degree once at enable time, leaving stale shares on
+	// rewired links and uncapped budget on links of rejoined peers).
 	ov            *overlay.Overlay
 	edgeRemaining []float64
 	edgePerTick   []float64
+	fairVersion   uint64
 }
 
 // NewBudget allocates a budget for n peers with a uniform per-tick
@@ -75,27 +82,46 @@ func NewBudget(n int, perTick float64) *Budget {
 
 // EnableFairShare activates the [21]-style per-connection capacity
 // split over ov's edges: the receiver of directed edge u->v accepts at
-// most capacity(v)/degree(v) per tick from u.
+// most capacity(v)/activeDegree(v) per tick from u. The split follows
+// the live overlay: Refill recomputes it whenever the overlay mutation
+// counter has moved.
 func (b *Budget) EnableFairShare(ov *overlay.Overlay) {
 	b.ov = ov
 	b.edgeRemaining = make([]float64, ov.NumDirectedEdges())
 	b.edgePerTick = make([]float64, ov.NumDirectedEdges())
-	g := ov.Graph()
-	for v := 0; v < ov.NumPeers(); v++ {
+	b.rebuildFairShare()
+	copy(b.edgeRemaining, b.edgePerTick)
+}
+
+// rebuildFairShare recomputes every per-edge arrival share from the
+// overlay's current connectivity: capacity(v) divided across v's
+// *active* connections (online neighbor, edge not cut). Inactive edges
+// get a zero share, so a link that later reactivates is recapped by
+// the rebuild its reactivation triggers rather than inheriting stale
+// or uncapped budget.
+func (b *Budget) rebuildFairShare() {
+	b.fairVersion = b.ov.Version()
+	for i := range b.edgePerTick {
+		b.edgePerTick[i] = 0
+	}
+	g := b.ov.Graph()
+	for v := 0; v < b.ov.NumPeers(); v++ {
 		id := PeerID(v)
-		deg := g.Degree(id)
+		deg := b.ov.ActiveDegree(id)
 		if deg == 0 {
 			continue
 		}
 		share := b.PerTick[v] / float64(deg)
-		for k := range g.Neighbors(id) {
+		for k, w := range g.Neighbors(id) {
 			// Edge id of v->neighbor; the *incoming* share for v over
 			// that link is tracked on the reverse edge, but since the
 			// share is symmetric per endpoint we track arrival budget
 			// on the edge pointing *to* v: reverse of v's k-th edge.
-			e := ov.Reverse(ov.EdgeID(id, k))
-			b.edgePerTick[e] = share
-			b.edgeRemaining[e] = share
+			e := b.ov.EdgeID(id, k)
+			if !b.ov.Online(w) || b.ov.EdgeCut(e) {
+				continue
+			}
+			b.edgePerTick[b.ov.Reverse(e)] = share
 		}
 	}
 }
@@ -130,6 +156,9 @@ func (b *Budget) Refill() {
 		b.Remaining[i] = b.PerTick[i]
 	}
 	if b.ov != nil {
+		if b.fairVersion != b.ov.Version() {
+			b.rebuildFairShare()
+		}
 		copy(b.edgeRemaining, b.edgePerTick)
 	}
 }
@@ -271,6 +300,15 @@ type Engine struct {
 	frontier []PeerID
 	next     []PeerID
 	nbuf     []PeerID
+
+	// cache is the topology-versioned traversal cache (see cache.go);
+	// nil when disabled. accBuf carries per-visit accepted mass from a
+	// batch replay's read-only precheck pass to its mutation pass. rec
+	// is the scratch tree live floods record into when the build policy
+	// asks for one (see resetRec).
+	cache  *travCache
+	accBuf []float64
+	rec    travTree
 }
 
 // NewEngine creates a flood engine over ov using the physical counter
@@ -286,7 +324,34 @@ func NewEngine(ov *overlay.Overlay) *Engine {
 		parent: make([]PeerID, n),
 		delay:  make([]float64, n),
 		mass:   make([]float64, n),
+		cache:  newTravCache(),
 	}
+}
+
+// SetTraversalCache enables or disables the topology-versioned
+// traversal cache. It is on by default; results are byte-identical
+// either way, so disabling exists for A/B verification and the perf
+// gate's uncached baseline.
+func (e *Engine) SetTraversalCache(on bool) {
+	if on && e.cache == nil {
+		e.cache = newTravCache()
+	} else if !on {
+		e.cache = nil
+	}
+}
+
+// TraversalCacheEnabled reports whether the traversal cache is active.
+func (e *Engine) TraversalCacheEnabled() bool { return e.cache != nil }
+
+// CacheStats returns traversal-cache effectiveness counters (zero
+// values when the cache is disabled).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	s := e.cache.stats
+	s.Trees = len(e.cache.trees)
+	return s
 }
 
 // AttachTelemetry wires the engine's hot-path event counters into reg
@@ -317,6 +382,130 @@ func (e *Engine) bump() {
 	}
 }
 
+// activeAdj returns u's active neighbors, plus their directed edge ids
+// when the traversal cache's CSR snapshot is available (nil eids means
+// the caller must FindEdge).
+func (e *Engine) activeAdj(u PeerID) ([]PeerID, []overlay.EdgeID) {
+	if e.cache != nil {
+		return e.cache.adj(u)
+	}
+	e.nbuf = e.ov.ActiveNeighbors(u, e.nbuf[:0])
+	return e.nbuf, nil
+}
+
+// resetRec clears and returns the engine's scratch recording tree.
+// Trees are recorded as a byproduct of the live BFS (no second
+// structural pass): the live traversal IS the structural first-visit
+// tree whenever every visited peer kept forwarding, and the dispatcher
+// clones the scratch into the cache only when that held. Recording into
+// a reused scratch keeps the no-store case (saturated floods that clip
+// peers) allocation-free.
+func (e *Engine) resetRec() *travTree {
+	e.rec.nodes = e.rec.nodes[:0]
+	e.rec.visits = e.rec.visits[:0]
+	e.rec.edgeEvents, e.rec.dupEvents = 0, 0
+	return &e.rec
+}
+
+// buildTree runs the purely structural TTL-bounded BFS (parent skip +
+// duplicate suppression, no budgets) and records the first-visit tree
+// in frontier order. Used only when a flood that should seed the cache
+// was capacity-clipped, so its own traversal was not structural: the
+// tree is built separately and kept for later replay attempts (each
+// prechecked against the then-current budget). It clobbers the
+// epoch/seen marks, so any accounting that reads the live flood's
+// marks must run first.
+func (e *Engine) buildTree(src, entry PeerID, ttl int) *travTree {
+	tr := &travTree{}
+	e.bump()
+	e.seen[src] = e.epoch
+	e.parent[src] = noParent
+	e.frontier = append(e.frontier[:0], src)
+	for depth := 1; depth <= ttl && len(e.frontier) > 0; depth++ {
+		e.next = e.next[:0]
+		for _, u := range e.frontier {
+			nbrs, eids := e.cache.adj(u)
+			nd := travNode{u: u, vStart: int32(len(tr.visits))}
+			for k, v := range nbrs {
+				if v == e.parent[u] {
+					continue
+				}
+				if u == src && entry >= 0 && v != entry {
+					continue
+				}
+				nd.edges++
+				if e.seen[v] == e.epoch {
+					nd.dups++
+					continue
+				}
+				e.seen[v] = e.epoch
+				e.parent[v] = u
+				tr.visits = append(tr.visits, visit{v: v, parent: u, eid: eids[k], depth: int32(depth)})
+				e.next = append(e.next, v)
+			}
+			nd.vCount = int32(len(tr.visits)) - nd.vStart
+			if nd.edges > 0 {
+				tr.nodes = append(tr.nodes, nd)
+				tr.edgeEvents += uint64(nd.edges)
+				tr.dupEvents += uint64(nd.dups)
+			}
+		}
+		e.frontier, e.next = e.next, e.frontier
+	}
+	return tr
+}
+
+// replayQuery re-runs one discrete flood over the cached tree. In the
+// physical plane it first prechecks that no cached visit would be
+// capacity-clipped (a clipped peer stops forwarding, which would
+// reshape the tree); each peer and directed edge is charged at most
+// once per flood, so the cells it reads keep their values until their
+// own visit and the precheck is exact. Returns false (with no state
+// mutated) when the flood must fall back to the live BFS.
+func (e *Engine) replayQuery(tr *travTree, src PeerID, budget *Budget, dm DelayModel, res *QueryResult) bool {
+	if e.mode == CounterPhysical {
+		for i := range tr.visits {
+			vt := &tr.visits[i]
+			if budget.arrivalCap(vt.v, vt.eid) < 1 {
+				tr.replayFailed()
+				e.cache.stats.Fallbacks++
+				return false
+			}
+		}
+	}
+	tr.failStreak = 0
+	e.bump()
+	e.seen[src] = e.epoch
+	e.hop[src] = 0
+	e.parent[src] = noParent
+	e.delay[src] = 0
+	res.QueryMessages = float64(tr.edgeEvents)
+	res.DupMessages = float64(tr.dupEvents)
+	e.telEdges.Add(tr.edgeEvents)
+	e.telDups.Add(tr.dupEvents)
+	for i := range tr.visits {
+		vt := &tr.visits[i]
+		e.ov.AddTraffic(vt.eid, 1)
+		e.seen[vt.v] = e.epoch
+		e.hop[vt.v] = vt.depth
+		e.parent[vt.v] = vt.parent
+		surviving := e.delay[vt.parent] >= 0
+		if surviving && budget.arrivalCap(vt.v, vt.eid) < 1 {
+			res.CapacityDrops++
+			e.telDrops.Inc()
+			surviving = false
+		}
+		if surviving {
+			budget.take(vt.v, vt.eid, 1)
+			res.Processed++
+			e.delay[vt.v] = e.delay[vt.parent] + dm.hopDelay(budget.Utilization(vt.v))
+		} else {
+			e.delay[vt.v] = -1
+		}
+	}
+	return true
+}
+
 // FloodQuery floods one discrete query from src with the given TTL.
 // holders is the replica set of the searched object (used for success
 // accounting; the issuer itself is not counted as a responder). Each
@@ -328,6 +517,41 @@ func (e *Engine) FloodQuery(src PeerID, ttl int, holders []topology.NodeID, budg
 		return res
 	}
 	e.telFloods.Inc()
+	if e.cache != nil {
+		e.cache.sync(e.ov)
+		k := treeKey{src: src, entry: noEntry, ttl: int32(ttl)}
+		tr, build := e.cache.lookup(k)
+		if tr != nil && e.replayQuery(tr, src, budget, dm, &res) {
+			e.cache.stats.Hits++
+			e.scoreHolders(src, holders, dm, &res)
+			return res
+		}
+		if tr == nil && build {
+			rec := e.resetRec()
+			e.liveQuery(src, ttl, budget, dm, &res, rec)
+			e.scoreHolders(src, holders, dm, &res) // before buildTree clobbers the marks
+			if e.mode == CounterIdeal || res.CapacityDrops == 0 {
+				// The flood was structural: the recording is the tree.
+				e.cache.store(k, rec.clone())
+			} else {
+				// A capacity-dropped peer stopped forwarding, so the
+				// traversal was not structural; build the tree
+				// separately and keep it for later replay attempts.
+				e.cache.store(k, e.buildTree(src, noEntry, ttl))
+			}
+			return res
+		}
+	}
+	e.liveQuery(src, ttl, budget, dm, &res, nil)
+	e.scoreHolders(src, holders, dm, &res)
+	return res
+}
+
+// liveQuery is the uncached BFS; it still reads the CSR adjacency
+// snapshot when the cache is enabled (the snapshot is connectivity
+// state, not traversal memoization, so it is always sound). A non-nil
+// rec collects the first-visit tree in traversal order as it runs.
+func (e *Engine) liveQuery(src PeerID, ttl int, budget *Budget, dm DelayModel, res *QueryResult, rec *travTree) {
 	e.bump()
 	e.seen[src] = e.epoch
 	e.hop[src] = 0
@@ -338,22 +562,40 @@ func (e *Engine) FloodQuery(src PeerID, ttl int, holders []topology.NodeID, budg
 	for depth := 1; depth <= ttl && len(e.frontier) > 0; depth++ {
 		e.next = e.next[:0]
 		for _, u := range e.frontier {
-			e.nbuf = e.ov.ActiveNeighbors(u, e.nbuf[:0])
-			for _, v := range e.nbuf {
+			nbrs, eids := e.activeAdj(u)
+			var nd travNode
+			if rec != nil {
+				nd = travNode{u: u, vStart: int32(len(rec.visits))}
+			}
+			for k, v := range nbrs {
 				if v == e.parent[u] {
 					continue // never send back where it came from
 				}
 				res.QueryMessages++
 				e.telEdges.Inc()
+				if rec != nil {
+					nd.edges++
+				}
 				if e.seen[v] == e.epoch {
 					// Duplicate copy: wire traffic, but discarded before
 					// the Out_query/In_query monitors count it (the
 					// paper's no-duplication accounting, Fig 2).
 					res.DupMessages++
 					e.telDups.Inc()
+					if rec != nil {
+						nd.dups++
+					}
 					continue
 				}
-				eid, _ := e.ov.FindEdge(u, v)
+				eid := overlay.EdgeID(0)
+				if eids != nil {
+					eid = eids[k]
+				} else {
+					eid, _ = e.ov.FindEdge(u, v)
+				}
+				if rec != nil {
+					rec.visits = append(rec.visits, visit{v: v, parent: u, eid: eid, depth: int32(depth)})
+				}
 				e.ov.AddTraffic(eid, 1)
 				e.seen[v] = e.epoch
 				e.hop[v] = int32(depth)
@@ -379,11 +621,21 @@ func (e *Engine) FloodQuery(src PeerID, ttl int, holders []topology.NodeID, budg
 				}
 				e.next = append(e.next, v)
 			}
+			if rec != nil && nd.edges > 0 {
+				nd.vCount = int32(len(rec.visits)) - nd.vStart
+				rec.nodes = append(rec.nodes, nd)
+				rec.edgeEvents += uint64(nd.edges)
+				rec.dupEvents += uint64(nd.dups)
+			}
 		}
 		e.frontier, e.next = e.next, e.frontier
 	}
+}
 
-	// Success accounting against the replica set.
+// scoreHolders runs the success accounting against the replica set,
+// reading the seen/hop/delay marks left by the traversal (live or
+// replayed).
+func (e *Engine) scoreHolders(src PeerID, holders []topology.NodeID, dm DelayModel, res *QueryResult) {
 	for _, h := range holders {
 		if h == src {
 			continue // searching peers don't count their own copy
@@ -404,7 +656,6 @@ func (e *Engine) FloodQuery(src PeerID, ttl int, holders []topology.NodeID, budg
 		e.telHitHops.Observe(uint64(res.FirstHitHops))
 		e.telDelay.Observe(uint64(res.ResponseDelay * 1000))
 	}
-	return res
 }
 
 // FloodBatch floods weight identical-routing bogus queries from src.
@@ -424,6 +675,114 @@ func (e *Engine) FloodBatch(src PeerID, entry PeerID, ttl int, weight float64, b
 		return res
 	}
 	e.telFloods.Inc()
+	if e.cache != nil {
+		e.cache.sync(e.ov)
+		key := entry
+		if key < 0 {
+			key = noEntry // normalize "any negative = unrestricted"
+		}
+		k := treeKey{src: src, entry: key, ttl: int32(ttl)}
+		tr, build := e.cache.lookup(k)
+		if tr != nil && e.replayBatch(tr, src, weight, budget, &res) {
+			e.cache.stats.Hits++
+			return res
+		}
+		if tr == nil && build {
+			rec := e.resetRec()
+			// Partial clips keep the tree shape (the peer forwards its
+			// reduced mass); only a zero-clip removes a subtree, and
+			// only in the physical plane.
+			zeroClip := e.liveBatch(src, entry, ttl, weight, budget, &res, rec)
+			if e.mode == CounterIdeal || !zeroClip {
+				e.cache.store(k, rec.clone())
+			} else {
+				e.cache.store(k, e.buildTree(src, entry, ttl))
+			}
+			return res
+		}
+	}
+	e.liveBatch(src, entry, ttl, weight, budget, &res, nil)
+	return res
+}
+
+// replayBatch re-runs one fluid batch over the cached tree in two
+// passes. Pass 1 is read-only on the budget: it computes the accepted
+// mass of every cached visit (exact, because each peer/edge budget
+// cell is charged at most once per flood) and, in the physical plane,
+// bails out if any visit would be clipped to zero — a zero-mass peer
+// stops forwarding and the tree would diverge. Pass 2 applies the
+// mutations in the live event order, add for add, so floating-point
+// accumulation is byte-identical to the uncached path.
+func (e *Engine) replayBatch(tr *travTree, src PeerID, weight float64, budget *Budget, res *BatchResult) bool {
+	if cap(e.accBuf) < len(tr.visits) {
+		e.accBuf = make([]float64, len(tr.visits))
+	}
+	acc := e.accBuf[:len(tr.visits)]
+	e.mass[src] = weight
+	for _, nd := range tr.nodes {
+		s := e.mass[nd.u]
+		for j := nd.vStart; j < nd.vStart+nd.vCount; j++ {
+			vt := &tr.visits[j]
+			a := s
+			if room := budget.arrivalCap(vt.v, vt.eid); a > room {
+				a = room
+			}
+			if a < 0 {
+				a = 0
+			}
+			if e.mode == CounterPhysical && a <= 0 {
+				tr.replayFailed()
+				e.cache.stats.Fallbacks++
+				return false
+			}
+			acc[j] = a
+			e.mass[vt.v] = a
+		}
+	}
+	tr.failStreak = 0
+	e.bump()
+	for _, nd := range tr.nodes {
+		s := e.mass[nd.u]
+		counted := weight
+		if e.mode == CounterPhysical {
+			counted = s
+		}
+		// Same-value adds commute with nothing here: the live loop adds
+		// `counted` once per edge event of this node, consecutively, so
+		// repeating the adds (rather than adding counted*edges) keeps
+		// the accumulation bit-exact.
+		for k := int32(0); k < nd.edges; k++ {
+			res.QueryMessages += counted
+		}
+		for k := int32(0); k < nd.dups; k++ {
+			res.DupMessages += counted
+		}
+		e.telEdges.Add(uint64(nd.edges))
+		e.telDups.Add(uint64(nd.dups))
+		for j := nd.vStart; j < nd.vStart+nd.vCount; j++ {
+			vt := &tr.visits[j]
+			a := acc[j]
+			e.ov.AddTraffic(vt.eid, counted)
+			budget.take(vt.v, vt.eid, a)
+			if a < s {
+				e.telDrops.Inc()
+			}
+			res.CapacityDrops += s - a
+			if a > 0 {
+				res.ProcessedMass += a
+				res.PeersReached++
+			}
+		}
+	}
+	return true
+}
+
+// liveBatch is the uncached fluid BFS (CSR-accelerated when the cache
+// is enabled). A non-nil rec collects the first-visit tree in
+// traversal order; the return reports whether any first visit was
+// capacity-clipped to zero, which in the physical plane prunes a
+// subtree and makes the recording non-structural.
+func (e *Engine) liveBatch(src PeerID, entry PeerID, ttl int, weight float64, budget *Budget, res *BatchResult, rec *travTree) (zeroClip bool) {
 	e.bump()
 	e.seen[src] = e.epoch
 	e.hop[src] = 0
@@ -442,8 +801,12 @@ func (e *Engine) FloodBatch(src PeerID, entry PeerID, ttl int, weight float64, b
 					continue
 				}
 			}
-			e.nbuf = e.ov.ActiveNeighbors(u, e.nbuf[:0])
-			for _, v := range e.nbuf {
+			nbrs, eids := e.activeAdj(u)
+			var nd travNode
+			if rec != nil {
+				nd = travNode{u: u, vStart: int32(len(rec.visits))}
+			}
+			for k, v := range nbrs {
 				if v == e.parent[u] {
 					continue
 				}
@@ -452,12 +815,26 @@ func (e *Engine) FloodBatch(src PeerID, entry PeerID, ttl int, weight float64, b
 				}
 				res.QueryMessages += counted
 				e.telEdges.Inc()
+				if rec != nil {
+					nd.edges++
+				}
 				if e.seen[v] == e.epoch {
 					res.DupMessages += counted
 					e.telDups.Inc()
+					if rec != nil {
+						nd.dups++
+					}
 					continue
 				}
-				eid, _ := e.ov.FindEdge(u, v)
+				eid := overlay.EdgeID(0)
+				if eids != nil {
+					eid = eids[k]
+				} else {
+					eid, _ = e.ov.FindEdge(u, v)
+				}
+				if rec != nil {
+					rec.visits = append(rec.visits, visit{v: v, parent: u, eid: eid, depth: int32(depth)})
+				}
 				e.ov.AddTraffic(eid, counted)
 				e.seen[v] = e.epoch
 				e.hop[v] = int32(depth)
@@ -479,12 +856,21 @@ func (e *Engine) FloodBatch(src PeerID, entry PeerID, ttl int, weight float64, b
 					res.ProcessedMass += accepted
 					res.PeersReached++
 				}
+				if accepted <= 0 && e.mode == CounterPhysical {
+					zeroClip = true
+				}
 				if accepted > 0 || e.mode == CounterIdeal {
 					e.next = append(e.next, v)
 				}
 			}
+			if rec != nil && nd.edges > 0 {
+				nd.vCount = int32(len(rec.visits)) - nd.vStart
+				rec.nodes = append(rec.nodes, nd)
+				rec.edgeEvents += uint64(nd.edges)
+				rec.dupEvents += uint64(nd.dups)
+			}
 		}
 		e.frontier, e.next = e.next, e.frontier
 	}
-	return res
+	return zeroClip
 }

@@ -1,0 +1,112 @@
+package gnet
+
+// Benchmark hooks for cmd/ddbench: a Neighbor_Traffic evaluation round
+// is normally triggered by closeMinute observing a hot window, which is
+// far too slow (and too noisy) to benchmark directly. These hooks let
+// the harness inject a synthetic buddy-group view and drive one full
+// start → collect-reports → verdict round on the real TCP links and the
+// real run loop, without waiting out monitoring windows.
+//
+// They are exported only for benchmarking; production code paths never
+// call them.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ddpolice/internal/protocol"
+)
+
+// errNodeClosed is returned when a bench hook races node shutdown.
+var errNodeClosed = errors.New("gnet: node closed")
+
+// runOnCtl executes fn on the node's run loop and waits for it to
+// finish, mirroring what message handlers do internally.
+func (n *Node) runOnCtl(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case n.ctl <- func() { fn(); close(done) }:
+	case <-n.closed:
+		return errNodeClosed
+	case <-time.After(5 * time.Second):
+		return errors.New("gnet: run loop stalled")
+	}
+	select {
+	case <-done:
+		return nil
+	case <-n.closed:
+		return errNodeClosed
+	case <-time.After(5 * time.Second):
+		return errors.New("gnet: run loop stalled")
+	}
+}
+
+// BenchPrimeSuspect installs a synthetic buddy-group view for suspect
+// on this node's monitor: the member list (as synthetic 10/8 addresses,
+// so members that are direct peers are reached over the existing
+// connections) plus last-window traffic counters for the suspect. Keep
+// in/out modest relative to Q0 so the verdict does not cut the suspect
+// and the topology survives repeated rounds.
+func (n *Node) BenchPrimeSuspect(suspect int32, memberIDs []int32, in, out float64) error {
+	if n.monitor == nil {
+		return errors.New("gnet: police monitor not enabled")
+	}
+	members := make([]protocol.PeerAddr, len(memberIDs))
+	for i, id := range memberIDs {
+		members[i] = protocol.AddrFromNodeID(id, 0)
+	}
+	return n.runOnCtl(func() {
+		m := n.monitor
+		m.lists[suspect] = members
+		m.prevIn[suspect] = in
+		m.prevOut[suspect] = out
+	})
+}
+
+// BenchNTRound drives one full Neighbor_Traffic evaluation round for a
+// previously primed suspect: startEvaluation on the run loop, wait for
+// every asked member's report to arrive over TCP, then the verdict.
+// Returns the number of member reports collected.
+func (n *Node) BenchNTRound(suspect int32, timeout time.Duration) (int, error) {
+	if n.monitor == nil {
+		return 0, errors.New("gnet: police monitor not enabled")
+	}
+	m := n.monitor
+	if err := n.runOnCtl(func() { m.startEvaluation(suspect) }); err != nil {
+		return 0, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		var missing, got int
+		pending := false
+		if err := n.runOnCtl(func() {
+			if ev, ok := m.pending[suspect]; ok {
+				pending = true
+				missing = ev.missing
+				got = len(ev.reports)
+			}
+		}); err != nil {
+			return 0, err
+		}
+		if !pending {
+			// The armVerdict timer already fired and judged the round.
+			return got, nil
+		}
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return got, fmt.Errorf("gnet: NT round timed out with %d reports missing", missing)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var got int
+	err := n.runOnCtl(func() {
+		if ev, ok := m.pending[suspect]; ok {
+			got = len(ev.reports)
+		}
+		m.finishEvaluation(suspect)
+	})
+	return got, err
+}

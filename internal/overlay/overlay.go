@@ -31,6 +31,12 @@ type Overlay struct {
 	curQ     []float64
 	prevQ    []float64
 	numEdges int
+	// version counts connectivity mutations (join/leave, cut/uncut —
+	// including partition apply/heal, which go through Cut/Uncut).
+	// Traversal caches and fair-share budgets key their validity on it;
+	// no-op mutations (cutting an already-cut edge, re-onlining an
+	// online peer) deliberately do not bump it.
+	version uint64
 }
 
 // New creates an overlay over g with every peer online and no cuts.
@@ -92,6 +98,12 @@ func (o *Overlay) NumPeers() int { return o.g.NumNodes() }
 // NumDirectedEdges returns the number of directed logical edges.
 func (o *Overlay) NumDirectedEdges() int { return o.numEdges }
 
+// Version returns the connectivity mutation counter. It increments on
+// every state-changing SetOnline, Cut and Uncut, so any derived view of
+// reachability (flood traversal caches, fair-share edge budgets, online
+// peer lists) is valid exactly while Version is unchanged.
+func (o *Overlay) Version() uint64 { return o.version }
+
 // Online reports whether v is currently in the system.
 func (o *Overlay) Online(v PeerID) bool { return o.online[v] }
 
@@ -116,6 +128,7 @@ func (o *Overlay) SetOnline(v PeerID, on bool) {
 		return
 	}
 	o.online[v] = on
+	o.version++
 	for k := range o.g.Neighbors(v) {
 		e := o.edgeBase[v] + EdgeID(k)
 		re := o.reverse[e]
@@ -198,6 +211,9 @@ func (o *Overlay) Cut(u, w PeerID) error {
 	if !ok {
 		return fmt.Errorf("overlay: cut of non-edge (%d,%d)", u, w)
 	}
+	if !o.cut[e] {
+		o.version++
+	}
 	o.cut[e] = true
 	o.cut[o.reverse[e]] = true
 	return nil
@@ -212,9 +228,16 @@ func (o *Overlay) Uncut(u, w PeerID) {
 	if !ok {
 		return
 	}
+	if o.cut[e] {
+		o.version++
+	}
 	o.cut[e] = false
 	o.cut[o.reverse[e]] = false
 }
+
+// EdgeCut reports whether directed edge e has been severed. It is the
+// O(1) form of IsCut for callers that already hold an edge id.
+func (o *Overlay) EdgeCut(e EdgeID) bool { return o.cut[e] }
 
 // IsCut reports whether the logical edge {u,w} has been severed.
 func (o *Overlay) IsCut(u, w PeerID) bool {

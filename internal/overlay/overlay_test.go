@@ -307,3 +307,82 @@ func TestRandomOpSequenceInvariants(t *testing.T) {
 		check(step)
 	}
 }
+
+// TestVersionCountsConnectivityMutations pins the mutation-counter
+// contract that the flood traversal cache and the fair-share budget key
+// their validity on: every state-changing SetOnline/Cut/Uncut bumps it,
+// and no-op mutations leave it alone.
+func TestVersionCountsConnectivityMutations(t *testing.T) {
+	o := New(ring(t, 10, 2))
+	v0 := o.Version()
+
+	o.SetOnline(3, false)
+	if o.Version() != v0+1 {
+		t.Fatalf("leave: version %d, want %d", o.Version(), v0+1)
+	}
+	o.SetOnline(3, false) // no-op: already offline
+	if o.Version() != v0+1 {
+		t.Fatalf("no-op leave bumped version to %d", o.Version())
+	}
+	o.SetOnline(3, true)
+	if o.Version() != v0+2 {
+		t.Fatalf("rejoin: version %d, want %d", o.Version(), v0+2)
+	}
+	o.SetOnline(3, true) // no-op: already online
+	if o.Version() != v0+2 {
+		t.Fatalf("no-op join bumped version to %d", o.Version())
+	}
+
+	if err := o.Cut(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Version() != v0+3 {
+		t.Fatalf("cut: version %d, want %d", o.Version(), v0+3)
+	}
+	if err := o.Cut(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Version() != v0+3 {
+		t.Fatalf("re-cut of severed edge bumped version to %d", o.Version())
+	}
+	o.Uncut(0, 1)
+	if o.Version() != v0+4 {
+		t.Fatalf("heal: version %d, want %d", o.Version(), v0+4)
+	}
+	o.Uncut(0, 1) // no-op: edge intact
+	if o.Version() != v0+4 {
+		t.Fatalf("no-op heal bumped version to %d", o.Version())
+	}
+	o.Uncut(5, 9) // no-op: not an edge
+	if o.Version() != v0+4 {
+		t.Fatalf("uncut of non-edge bumped version to %d", o.Version())
+	}
+
+	// Traffic accounting and minute rolls are not connectivity.
+	if err := o.AddTrafficBetween(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	o.RollMinute()
+	if o.Version() != v0+4 {
+		t.Fatalf("traffic/minute bookkeeping bumped version to %d", o.Version())
+	}
+}
+
+// TestEdgeCutMatchesIsCut checks the O(1) edge-id form against the
+// endpoint form.
+func TestEdgeCutMatchesIsCut(t *testing.T) {
+	o := New(ring(t, 10, 2))
+	if err := o.Cut(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := o.FindEdge(2, 3)
+	if !ok {
+		t.Fatal("edge 2-3 missing")
+	}
+	if !o.EdgeCut(e) || !o.EdgeCut(o.Reverse(e)) {
+		t.Fatal("EdgeCut false for severed edge")
+	}
+	if f, _ := o.FindEdge(3, 4); o.EdgeCut(f) {
+		t.Fatal("EdgeCut true for intact edge")
+	}
+}

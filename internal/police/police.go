@@ -195,6 +195,27 @@ type Police struct {
 
 	// blacklist[observer][suspect] = expiry time (BlacklistSec > 0).
 	blacklist []map[PeerID]float64
+
+	// Pooled scratch buffers. The minute sweep and the exchange
+	// fan-outs run for every online peer every simulated minute, so
+	// their transient slices are reused across calls instead of
+	// re-allocated per observer/suspect round. Each buffer is owned by
+	// exactly one (non-reentrant) call path: membersOf/Indicators never
+	// nest inside each other, exchangeFrom never calls NotifyJoin, and
+	// sendList is a leaf.
+	memberBuf []PeerID  // membersOf result
+	reportBuf []Report  // Indicators' collected Neighbor_Traffic answers
+	cutBuf    []verdict // EvaluateMinute's deferred cut decisions
+	evalBuf   []PeerID  // EvaluateMinute's per-observer suspect scan
+	exBuf     []PeerID  // exchangeFrom's neighbor fan-out
+	sendBuf   []PeerID  // sendList's advertised members (liars append)
+	joinBuf   []PeerID  // NotifyJoin's neighbor push list
+}
+
+// verdict is one deferred disconnect decision from the minute sweep.
+type verdict struct {
+	observer, suspect PeerID
+	g, s              float64
 }
 
 // New creates a DD-POLICE instance over ov. Exchange phases are
@@ -213,6 +234,9 @@ func New(ov *overlay.Overlay, cfg Config) (*Police, error) {
 		liar:     make([]bool, n),
 		cutGood:  make(map[PeerID]bool),
 		detected: make(map[PeerID]bool),
+		// Non-nil from the start: membersOf's callers distinguish "no
+		// usable list" (nil) from "an empty buddy group" (empty slice).
+		memberBuf: make([]PeerID, 0, 8),
 	}
 	for i := range p.states {
 		p.states[i] = peerState{

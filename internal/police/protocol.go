@@ -31,17 +31,28 @@ func (p *Police) Tick(now float64) {
 // exchanging operation"), and in event-driven mode its neighbors push
 // updates too.
 func (p *Police) NotifyJoin(v PeerID, now float64) {
-	p.states[v].lists = make(map[PeerID]advertised)
-	p.states[v].lastReport = make(map[PeerID]float64)
+	// Reuse the joining peer's state maps across churn cycles instead
+	// of leaving the old ones to the collector every rejoin.
+	if p.states[v].lists == nil {
+		p.states[v].lists = make(map[PeerID]advertised)
+		p.states[v].lastReport = make(map[PeerID]float64)
+	} else {
+		clear(p.states[v].lists)
+		clear(p.states[v].lastReport)
+	}
 	p.exchangeFrom(v, now)
 	// The new peer also learns its neighbors' lists right away (the
 	// exchange is mutual on connect).
-	var buf []PeerID
-	for _, w := range p.ov.ActiveNeighbors(v, buf) {
+	p.joinBuf = p.ov.ActiveNeighbors(v, p.joinBuf[:0])
+	for _, w := range p.joinBuf {
 		p.sendList(w, v, now)
 	}
 	if p.cfg.EventDriven {
-		for _, w := range p.ov.ActiveNeighbors(v, nil) {
+		// sendList above cannot shuffle joinBuf, but exchangeFrom fans
+		// out through exBuf, so reusing joinBuf for this second pass is
+		// still safe.
+		p.joinBuf = p.ov.ActiveNeighbors(v, p.joinBuf[:0])
+		for _, w := range p.joinBuf {
 			p.exchangeFrom(w, now)
 		}
 	}
@@ -62,9 +73,8 @@ func (p *Police) NotifyLeave(v PeerID, now float64) {
 // exchangeFrom makes peer v push its neighbor list to all its active
 // neighbors (and, for Radius 2, relay the lists it holds one hop on).
 func (p *Police) exchangeFrom(v PeerID, now float64) {
-	var nbuf []PeerID
-	neighbors := p.ov.ActiveNeighbors(v, nbuf)
-	for _, w := range neighbors {
+	p.exBuf = p.ov.ActiveNeighbors(v, p.exBuf[:0])
+	for _, w := range p.exBuf {
 		p.sendList(v, w, now)
 		if p.cfg.Radius >= 2 {
 			// DD-POLICE-r, r=2: v relays the freshest lists it holds so
@@ -82,7 +92,8 @@ func (p *Police) exchangeFrom(v PeerID, now float64) {
 
 // sendList delivers v's own current neighbor list to receiver w.
 func (p *Police) sendList(v, w PeerID, now float64) {
-	members := p.ov.ActiveNeighbors(v, nil)
+	p.sendBuf = p.ov.ActiveNeighbors(v, p.sendBuf[:0])
+	members := p.sendBuf
 	if p.liar[v] {
 		// A lying peer pads its list with fabricated claims: peers it
 		// is not actually connected to.
@@ -146,12 +157,13 @@ func (p *Police) membersOf(observer, suspect PeerID, now float64) []PeerID {
 	if p.cfg.StaleAfter > 0 && now-adv.at > p.cfg.StaleAfter {
 		return nil
 	}
-	out := make([]PeerID, 0, len(adv.members))
+	out := p.memberBuf[:0]
 	for _, m := range adv.members {
 		if m != observer {
 			out = append(out, m)
 		}
 	}
+	p.memberBuf = out
 	return out
 }
 
@@ -212,7 +224,7 @@ func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64
 		Node: int64(observer), Peer: int64(suspect),
 		K: len(members), Window: int(now) / 60,
 	})
-	others := make([]Report, 0, len(members))
+	others := p.reportBuf[:0]
 	missing := 0
 	for _, m := range members {
 		rOut, rIn, got := p.report(m, suspect, now)
@@ -230,6 +242,7 @@ func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64
 			Node: int64(observer), Peer: int64(suspect), Member: int64(m),
 		})
 	}
+	p.reportBuf = others
 	g, s, k = ComputeIndicators(p.cfg.Q0, own, others, missing)
 	p.jr.Record(journal.Event{
 		T: now, Type: journal.TypeIndicator,
@@ -249,20 +262,15 @@ func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64
 // reports, so one observer's disconnect must not erase the evidence a
 // later observer's computation depends on.
 func (p *Police) EvaluateMinute(now float64) {
-	type verdict struct {
-		observer, suspect PeerID
-		g, s              float64
-	}
-	var cuts []verdict
+	cuts := p.cutBuf[:0]
 	n := p.ov.NumPeers()
-	var nbuf []PeerID
 	for v := 0; v < n; v++ {
 		observer := PeerID(v)
 		if !p.ov.Online(observer) {
 			continue
 		}
-		nbuf = p.ov.ActiveNeighbors(observer, nbuf[:0])
-		for _, suspect := range nbuf {
+		p.evalBuf = p.ov.ActiveNeighbors(observer, p.evalBuf[:0])
+		for _, suspect := range p.evalBuf {
 			if p.blacklisted(observer, suspect, now) {
 				// Future-work extension: a previously-convicted suspect
 				// that reconnected is cut on sight.
@@ -300,6 +308,7 @@ func (p *Police) EvaluateMinute(now float64) {
 			p.recordCut(c.observer, c.suspect, c.g, c.s, now)
 		}
 	}
+	p.cutBuf = cuts // keep the grown capacity for the next minute
 }
 
 // blacklisted reports whether the observer currently bans the suspect.

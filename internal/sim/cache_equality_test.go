@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ddpolice/internal/faults"
+	"ddpolice/internal/journal"
+	"ddpolice/internal/telemetry"
+)
+
+// runCachedUncached executes the same config twice — traversal cache on
+// and off — capturing the event stream and detection journal of each.
+func runCachedUncached(t *testing.T, cfg Config) (cached, uncached *Result, evCached, evUncached []byte, jrCached, jrUncached []byte) {
+	t.Helper()
+	run := func(disable bool) (*Result, []byte, []byte) {
+		c := cfg
+		c.DisableFloodCache = disable
+		var ev bytes.Buffer
+		c.Events = &ev
+		jr := journal.New(4096)
+		c.Journal = jr
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jb bytes.Buffer
+		if err := jr.WriteNDJSON(&jb); err != nil {
+			t.Fatal(err)
+		}
+		return res, ev.Bytes(), jb.Bytes()
+	}
+	cached, evCached, jrCached = run(false)
+	uncached, evUncached, jrUncached = run(true)
+	return
+}
+
+// assertIdenticalRuns asserts the full acceptance property: equal
+// Results and byte-identical event/journal streams.
+func assertIdenticalRuns(t *testing.T, scenario string, cfg Config) {
+	t.Helper()
+	cached, uncached, evC, evU, jrC, jrU := runCachedUncached(t, cfg)
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Fatalf("%s: Results diverged:\ncached:   %+v\nuncached: %+v", scenario, cached, uncached)
+	}
+	if !bytes.Equal(evC, evU) {
+		t.Fatalf("%s: event streams diverged (%d vs %d bytes)", scenario, len(evC), len(evU))
+	}
+	if !bytes.Equal(jrC, jrU) {
+		t.Fatalf("%s: journals diverged (%d vs %d bytes)", scenario, len(jrC), len(jrU))
+	}
+}
+
+func equalityConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumPeers = 800
+	cfg.DurationSec = 360
+	cfg.AttackStartSec = 60
+	cfg.ChurnEnabled = false
+	cfg.Catalog.NumObjects = 2000
+	return cfg
+}
+
+// TestCachedRunByteIdenticalSteady covers the no-churn attack run — the
+// configuration the perf gate benchmarks.
+func TestCachedRunByteIdenticalSteady(t *testing.T) {
+	assertIdenticalRuns(t, "steady", equalityConfig())
+}
+
+// TestCachedRunByteIdenticalChurn covers continuous join/leave churn:
+// every SetOnline bumps the overlay version and must flush the
+// traversal cache before the next flood.
+func TestCachedRunByteIdenticalChurn(t *testing.T) {
+	cfg := equalityConfig()
+	cfg.ChurnEnabled = true
+	assertIdenticalRuns(t, "churn", cfg)
+}
+
+// TestCachedRunByteIdenticalPartition covers timed partition apply and
+// heal, which mutate connectivity through Cut/Uncut mid-run.
+func TestCachedRunByteIdenticalPartition(t *testing.T) {
+	cfg := equalityConfig()
+	cfg.Faults = &faults.Schedule{Partitions: []faults.PartitionEvent{
+		{StartSec: 90, EndSec: 210, Peers: []int{1, 2, 3, 4, 5, 6, 7, 8}},
+	}}
+	assertIdenticalRuns(t, "partition", cfg)
+}
+
+// TestCachedRunByteIdenticalPolice covers DD-POLICE detection cuts (and
+// the fair-share baseline alongside), the remaining overlay mutation
+// source.
+func TestCachedRunByteIdenticalPolice(t *testing.T) {
+	cfg := equalityConfig()
+	cfg.PoliceEnabled = true
+	cfg.NumAgents = 4
+	assertIdenticalRuns(t, "police", cfg)
+}
+
+// TestSteadyRunEngagesCache guards against the equality suite passing
+// vacuously: in the steady-topology query loop (the configuration the
+// perf gate benchmarks) the cache must actually replay floods, visible
+// through the end-of-run telemetry gauges. No attack agents here on
+// purpose — network-wide saturation clips floods, and clipped floods
+// are exactly the ones replay must refuse (a clipped peer stops
+// forwarding, so the cached tree would not be byte-identical).
+func TestSteadyRunEngagesCache(t *testing.T) {
+	cfg := equalityConfig()
+	cfg.Registry = telemetry.New()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	hits := cfg.Registry.Gauge("flood.cache_hits").Load()
+	builds := cfg.Registry.Gauge("flood.cache_builds").Load()
+	if hits == 0 || builds == 0 {
+		t.Fatalf("traversal cache never engaged: hits=%d builds=%d", hits, builds)
+	}
+}
+
+// TestCachedRunByteIdenticalFairShare covers the fair-share budget path
+// under churn, where per-edge shares are rebuilt on the same mutation
+// counter the traversal cache keys on.
+func TestCachedRunByteIdenticalFairShare(t *testing.T) {
+	cfg := equalityConfig()
+	cfg.ChurnEnabled = true
+	cfg.FairShareDrop = true
+	cfg.NumAgents = 4
+	assertIdenticalRuns(t, "fairshare", cfg)
+}

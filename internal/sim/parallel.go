@@ -9,25 +9,38 @@ import (
 	"ddpolice/internal/telemetry"
 )
 
-// RunParallel executes the given configurations concurrently, bounded
-// by GOMAXPROCS workers, and returns results in input order. Each
+// RunParallel executes the given configurations concurrently on a
+// bounded worker pool and returns results in input order. Each
 // configuration carries its own seed, so results are deterministic
-// regardless of scheduling. The first error (if any) is returned with
-// whatever results completed.
+// regardless of scheduling. The first error (if any, in input order)
+// is returned with whatever results completed.
+//
+// Workers are capped at min(GOMAXPROCS, len(cfgs)) and pull indices
+// from a channel: a 10k-seed sweep runs on a dozen goroutines, not ten
+// thousand parked ones (the previous version spawned one goroutine per
+// config before acquiring its semaphore slot).
 func RunParallel(cfgs []Config) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range cfgs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Run(cfgs[i])
-		}(i)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -39,9 +52,12 @@ func RunParallel(cfgs []Config) ([]*Result, error) {
 
 // Averaged runs the same configuration with the given seeds and merges
 // scalar outputs by arithmetic mean (series element-wise, counters by
-// rounded mean). Non-scalar fields (Minutes, Overhead, AgentIDs) are
-// taken from the first seed's run. It reduces run-to-run noise for the
-// figure sweeps.
+// rounded mean, control-overhead message counts per class by rounded
+// mean). Non-scalar fields — Minutes, AgentIDs, Stages, Telemetry —
+// remain the first seed's run verbatim: they are full per-minute /
+// per-stage structures whose element-wise mean would misrepresent runs
+// that diverge in length or agent placement. It reduces run-to-run
+// noise for the figure sweeps.
 func Averaged(cfg Config, seeds []uint64) (*Result, error) {
 	if len(seeds) == 0 {
 		return Run(cfg)
@@ -77,12 +93,18 @@ func mergeResults(rs []*Result) *Result {
 		out.OverallSuccess += r.OverallSuccess
 		out.MeanTraffic += r.MeanTraffic
 		out.MeanResponseTime += r.MeanResponseTime
+		out.ResponseP50 += r.ResponseP50
+		out.ResponseP95 += r.ResponseP95
 		out.MeanHitHops += r.MeanHitHops
+		out.QueriesIssued += r.QueriesIssued
 		out.Detections += r.Detections
 		out.FalseNegatives += r.FalseNegatives
 		out.FalsePositives += r.FalsePositives
 		out.CutEdges += r.CutEdges
 		out.AttackVolume += r.AttackVolume
+		out.Overhead.NeighborListMsgs += r.Overhead.NeighborListMsgs
+		out.Overhead.NeighborTrafficMsgs += r.Overhead.NeighborTrafficMsgs
+		out.Overhead.VerifyMsgs += r.Overhead.VerifyMsgs
 		for i := range out.SuccessSeries {
 			if i < len(r.SuccessSeries) {
 				out.SuccessSeries[i] += r.SuccessSeries[i]
@@ -92,12 +114,21 @@ func mergeResults(rs []*Result) *Result {
 	out.OverallSuccess /= n
 	out.MeanTraffic /= n
 	out.MeanResponseTime /= n
+	out.ResponseP50 /= n
+	out.ResponseP95 /= n
 	out.MeanHitHops /= n
 	out.AttackVolume /= n
+	out.QueriesIssued = roundDivU64(out.QueriesIssued, n)
 	out.Detections = roundDiv(out.Detections, n)
 	out.FalseNegatives = roundDiv(out.FalseNegatives, n)
 	out.FalsePositives = roundDiv(out.FalsePositives, n)
 	out.CutEdges = roundDiv(out.CutEdges, n)
+	// Overhead was previously copied wholesale from the first seed, so
+	// "averaged" sweeps reported one run's control traffic as the mean;
+	// its three message counters are plain totals and average cleanly.
+	out.Overhead.NeighborListMsgs = roundDivU64(out.Overhead.NeighborListMsgs, n)
+	out.Overhead.NeighborTrafficMsgs = roundDivU64(out.Overhead.NeighborTrafficMsgs, n)
+	out.Overhead.VerifyMsgs = roundDivU64(out.Overhead.VerifyMsgs, n)
 	for i := range out.SuccessSeries {
 		out.SuccessSeries[i] /= n
 	}
@@ -106,4 +137,8 @@ func mergeResults(rs []*Result) *Result {
 
 func roundDiv(sum int, n float64) int {
 	return int(float64(sum)/n + 0.5)
+}
+
+func roundDivU64(sum uint64, n float64) uint64 {
+	return uint64(float64(sum)/n + 0.5)
 }

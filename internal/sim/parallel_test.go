@@ -2,12 +2,15 @@ package sim
 
 import (
 	"reflect"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ddpolice/internal/metrics"
 	"ddpolice/internal/overlay"
+	"ddpolice/internal/police"
 	"ddpolice/internal/telemetry"
-	"time"
 )
 
 // TestMergeResultsLeavesInputsUnmodified is the regression test for the
@@ -61,6 +64,103 @@ func TestMergeResultsLeavesInputsUnmodified(t *testing.T) {
 	}
 	if first.Stages[0].Count != 3 || first.Telemetry.Counters[0].Value != 9 {
 		t.Error("merged result aliases the first input's telemetry")
+	}
+}
+
+// TestMergeResultsAveragesOverhead is the regression test for the
+// first-seed-only Overhead bug: "averaged" sweeps used to report the
+// first seed's control-message counts as if they were the mean. The
+// per-class counters must now be rounded means; P50/P95 and
+// QueriesIssued were silently first-seed-only too.
+func TestMergeResultsAveragesOverhead(t *testing.T) {
+	first := &Result{
+		Overhead:      police.Overhead{NeighborListMsgs: 100, NeighborTrafficMsgs: 10, VerifyMsgs: 5},
+		ResponseP50:   0.2,
+		ResponseP95:   1.0,
+		QueriesIssued: 1000,
+	}
+	second := &Result{
+		Overhead:      police.Overhead{NeighborListMsgs: 200, NeighborTrafficMsgs: 31, VerifyMsgs: 0},
+		ResponseP50:   0.4,
+		ResponseP95:   3.0,
+		QueriesIssued: 3001,
+	}
+	merged := mergeResults([]*Result{first, second})
+	want := police.Overhead{NeighborListMsgs: 150, NeighborTrafficMsgs: 21, VerifyMsgs: 3}
+	if merged.Overhead != want {
+		t.Errorf("merged overhead = %+v, want rounded mean %+v", merged.Overhead, want)
+	}
+	if d := merged.ResponseP50 - 0.3; d < -1e-12 || d > 1e-12 {
+		t.Errorf("merged P50 = %v, want mean 0.3", merged.ResponseP50)
+	}
+	if merged.ResponseP95 != 2.0 {
+		t.Errorf("merged P95 = %v, want mean 2.0", merged.ResponseP95)
+	}
+	if merged.QueriesIssued != 2001 {
+		t.Errorf("merged queries issued = %d, want rounded mean 2001", merged.QueriesIssued)
+	}
+	if first.Overhead.NeighborListMsgs != 100 || second.Overhead.NeighborListMsgs != 200 {
+		t.Error("merge mutated an input's Overhead")
+	}
+}
+
+// TestRunParallelBoundedWorkers is the regression test for unbounded
+// goroutine spawning: RunParallel used to launch one goroutine per
+// config before acquiring a semaphore slot, so a large sweep parked
+// thousands of goroutines at once. The worker pool must keep the
+// goroutine count near GOMAXPROCS even for a big config slice, while
+// still returning every result in input order.
+func TestRunParallelBoundedWorkers(t *testing.T) {
+	base := smallConfig()
+	base.NumPeers = 50
+	base.TopologyM = 2
+	base.DurationSec = 60
+	base.Catalog.NumObjects = 100
+	cfgs := make([]Config, 300)
+	for i := range cfgs {
+		c := base
+		c.Seed = uint64(i + 1)
+		cfgs[i] = c
+	}
+	before := runtime.NumGoroutine()
+	var peak atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				close(done)
+				return
+			default:
+				if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+					peak.Store(n)
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+	rs, err := RunParallel(cfgs)
+	done <- struct{}{}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous bound: workers + the run's own baseline + slack. The old
+	// implementation peaked at before+len(cfgs) (~300+).
+	limit := int64(before + runtime.GOMAXPROCS(0) + 20)
+	if p := peak.Load(); p > limit {
+		t.Errorf("goroutine peak %d exceeds bound %d for %d configs", p, limit, len(cfgs))
+	}
+	// Input-order results: each seed's run is deterministic, so result i
+	// must match an independent run of cfgs[i].
+	for _, i := range []int{0, 137, 299} {
+		want, err := Run(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[i] == nil || rs[i].OverallSuccess != want.OverallSuccess || rs[i].QueriesIssued != want.QueriesIssued {
+			t.Errorf("result %d not in input order (got %+v)", i, rs[i])
+		}
 	}
 }
 

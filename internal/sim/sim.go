@@ -81,6 +81,13 @@ type Config struct {
 	// ablation; see DESIGN.md "Calibration".
 	IdealCounters bool
 
+	// DisableFloodCache turns off the flood engine's topology-versioned
+	// traversal cache and runs every flood as a full BFS. Results are
+	// byte-identical either way (asserted by the equality suite in
+	// cache_equality_test.go); the switch exists for that A/B check and
+	// for the ddbench uncached baseline.
+	DisableFloodCache bool
+
 	// FairShareDrop enables the related-work baseline defense ([21],
 	// Daswani & Garcia-Molina): peers split their processing capacity
 	// evenly across incoming connections instead of serving
@@ -319,6 +326,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.IdealCounters {
 		eng.SetCounterMode(flood.CounterIdeal)
 	}
+	if cfg.DisableFloodCache {
+		eng.SetTraversalCache(false)
+	}
 	// Observability: nil when disabled, making every Start/Stop and
 	// counter site below a nil-check no-op. An externally supplied
 	// registry (ddsim -metrics) turns instrument recording on even when
@@ -367,6 +377,8 @@ func Run(cfg Config) (*Result, error) {
 
 	var (
 		onlineBuf  []overlay.PeerID
+		onlineVer  uint64
+		onlineInit bool
 		queryBuf   []workload.Query
 		prevOnline []bool
 		overheadAt uint64
@@ -476,10 +488,16 @@ func Run(cfg Config) (*Result, error) {
 		// with attack traffic on fair terms rather than always seeing a
 		// drained (or untouched) budget.
 		t0 := stages.Start()
-		onlineBuf = onlineBuf[:0]
-		for v := 0; v < cfg.NumPeers; v++ {
-			if ov.Online(overlay.PeerID(v)) {
-				onlineBuf = append(onlineBuf, overlay.PeerID(v))
+		// The online list only changes when overlay connectivity does;
+		// rescan keyed on the mutation counter instead of every tick.
+		if !onlineInit || onlineVer != ov.Version() {
+			onlineInit = true
+			onlineVer = ov.Version()
+			onlineBuf = onlineBuf[:0]
+			for v := 0; v < cfg.NumPeers; v++ {
+				if ov.Online(overlay.PeerID(v)) {
+					onlineBuf = append(onlineBuf, overlay.PeerID(v))
+				}
 			}
 		}
 		queryBuf = qgen.Tick(onlineBuf, 1, queryBuf[:0])
@@ -588,6 +606,15 @@ func Run(cfg Config) (*Result, error) {
 		res.Stages = stages.Snapshot()
 	}
 	if reg != nil {
+		// Traversal-cache effectiveness, exported once at run end (the
+		// engine accumulates internally; per-tick gauge updates would
+		// cost atomics on the hot path for no added information).
+		cs := eng.CacheStats()
+		reg.Gauge("flood.cache_hits").Set(int64(cs.Hits))
+		reg.Gauge("flood.cache_misses").Set(int64(cs.Misses))
+		reg.Gauge("flood.cache_builds").Set(int64(cs.Builds))
+		reg.Gauge("flood.cache_fallbacks").Set(int64(cs.Fallbacks))
+		reg.Gauge("flood.cache_flushes").Set(int64(cs.Flushes))
 		snap := reg.Snapshot()
 		res.Telemetry = &snap
 	}
