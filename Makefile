@@ -1,15 +1,18 @@
 GO ?= go
 
-.PHONY: ci build vet test race chaos smoke bench benchsmoke benchgo telemetry
+.PHONY: ci build vet test race racesmoke chaos smoke bench benchsmoke benchgo telemetry
 
 # ci is the gate: static checks, full build, full tests, then a short
 # race pass over the packages with real concurrency (the live TCP node
-# and the parallel replica runner), then the chaos pass (fault
-# injection, reconnect supervision, transient-dial recovery), then the
-# metrics smoke (a live ddnode answering /metrics and /healthz), then a
-# one-iteration pass over the pinned benchmark suite (exercises every
-# bench fixture; no timing gate, no BENCH.json update).
-ci: vet build test race chaos smoke benchsmoke
+# and the parallel replica runner), then the full-package race smoke
+# over the engine/sim/gnet suites (catches data races in the sharded
+# proposal phase that the scoped -run regex would skip), then the chaos
+# pass (fault injection, reconnect supervision, transient-dial
+# recovery), then the metrics smoke (a live ddnode answering /metrics
+# and /healthz), then a one-iteration pass over the pinned benchmark
+# suite (exercises every bench fixture; no timing gate, no BENCH.json
+# update).
+ci: vet build test race racesmoke chaos smoke benchsmoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +31,13 @@ test:
 race:
 	$(GO) test -race -run 'Telemetry|Monitor|Evaluation|Duplicate|MergeResults|Averaged|Parallel|Histogram|Journal' ./internal/gnet/ ./internal/sim/ ./internal/telemetry/ ./internal/journal/
 
+# racesmoke runs the flood/sim/gnet suites in full under the race
+# detector: the sharded proposal phase (flood.Engine.PrewarmTrees and
+# the sim byte-identity matrix at 2/4/8 shards) only races when whole
+# ticks run, which the scoped `race` regex above does not cover.
+racesmoke:
+	$(GO) test -race ./internal/flood/ ./internal/sim/ ./internal/gnet/
+
 # The chaos pass runs the fault-injection suites under the race
 # detector: injected resets with reconnect backoff, cut-vs-crash
 # provenance, goroutine-leak regression, and the 8-node lossy overlay.
@@ -41,15 +51,19 @@ smoke:
 	./scripts/metrics_smoke.sh
 
 # bench regenerates the committed perf trajectory (BENCH.json) from the
-# pinned suite in cmd/ddbench and enforces the traversal-cache gate
-# (cached vs uncached 2k-peer tick loop must stay >= 1.5x). Timings are
+# pinned suite in cmd/ddbench and enforces both derived gates: the
+# traversal-cache speedup (cached vs uncached 2k-peer tick loop must
+# stay >= 1.5x) and the sharded-tick speedup (serial vs 4-shard 10k
+# churn+attack loop, floor derated to GOMAXPROCS — see cmd/ddbench).
+# It also writes the timestamped BENCH_PR6.json snapshot. Timings are
 # machine-relative: compare the derived ratios across commits, not raw
 # ns across machines.
 bench:
 	$(GO) run ./cmd/ddbench -out BENCH.json -gate
 
-# benchsmoke runs every benchmark fixture once, with no warmup and no
-# gate — a compile-and-execute check for ci, cheap enough to run always.
+# benchsmoke runs every benchmark fixture once, with no warmup, no gate
+# and no snapshot — a compile-and-execute check for ci, cheap enough to
+# run always.
 benchsmoke:
 	$(GO) run ./cmd/ddbench -quick -out /tmp/BENCH.quick.json
 

@@ -131,20 +131,38 @@ func (b *Budget) FairShare() bool { return b.ov != nil }
 
 // arrivalCap returns how much may still arrive at v via the directed
 // edge e (u->v) this tick, bounded by both the edge share (fair mode)
-// and the peer's remaining total.
+// and the peer's remaining total. Never negative: a cell that was
+// overdrawn (see take) reports zero room, not negative room that would
+// push a caller's accepted mass below zero.
 func (b *Budget) arrivalCap(v PeerID, e overlay.EdgeID) float64 {
 	room := b.Remaining[v]
 	if b.ov != nil && b.edgeRemaining[e] < room {
 		room = b.edgeRemaining[e]
 	}
+	if room < 0 {
+		return 0
+	}
 	return room
 }
 
-// take consumes amount from v's budget for an arrival via edge e.
+// take consumes amount from v's budget for an arrival via edge e,
+// clamping at zero. Callers cap amount by arrivalCap first, but a
+// precomputed cap can go stale when a same-tick sibling arrival lands
+// between the read and the take; without the clamp that drives
+// Remaining/edgeRemaining negative, and the deficit silently steals
+// capacity from the next refill's utilization accounting.
 func (b *Budget) take(v PeerID, e overlay.EdgeID, amount float64) {
-	b.Remaining[v] -= amount
+	if r := b.Remaining[v] - amount; r > 0 {
+		b.Remaining[v] = r
+	} else {
+		b.Remaining[v] = 0
+	}
 	if b.ov != nil {
-		b.edgeRemaining[e] -= amount
+		if r := b.edgeRemaining[e] - amount; r > 0 {
+			b.edgeRemaining[e] = r
+		} else {
+			b.edgeRemaining[e] = 0
+		}
 	}
 }
 
@@ -166,7 +184,10 @@ func (b *Budget) Refill() {
 func (b *Budget) utilNow(p PeerID) float64 {
 	full := b.PerTick[p]
 	if full <= 0 {
-		return 1
+		// A zero-capacity peer that processes nothing is idle, not
+		// saturated: reporting u=1 here used to charge every flood path
+		// through it the maximum queueing delay despite zero traffic.
+		return 0
 	}
 	u := 1 - b.Remaining[p]/full
 	if u < 0 {
@@ -309,6 +330,10 @@ type Engine struct {
 	cache  *travCache
 	accBuf []float64
 	rec    travTree
+
+	// prewarmState is the sharded proposal phase's scratch and
+	// counters (see shard.go).
+	prewarmState
 }
 
 // NewEngine creates a flood engine over ov using the physical counter
@@ -364,6 +389,8 @@ func (e *Engine) AttachTelemetry(reg *telemetry.Registry) {
 	e.telDrops = reg.Counter("flood.budget_drops")
 	e.telHitHops = reg.Histogram("flood.hit_hops")
 	e.telDelay = reg.Histogram("flood.response_delay_ms")
+	e.telPrewarm = reg.Counter("flood.prewarm_trees")
+	e.telPrewarmVisits = reg.Counter("flood.prewarm_visits")
 }
 
 // SetCounterMode switches the counter accounting plane.
@@ -409,50 +436,19 @@ func (e *Engine) resetRec() *travTree {
 
 // buildTree runs the purely structural TTL-bounded BFS (parent skip +
 // duplicate suppression, no budgets) and records the first-visit tree
-// in frontier order. Used only when a flood that should seed the cache
-// was capacity-clipped, so its own traversal was not structural: the
-// tree is built separately and kept for later replay attempts (each
-// prechecked against the then-current budget). It clobbers the
-// epoch/seen marks, so any accounting that reads the live flood's
-// marks must run first.
+// in frontier order. Used when a flood that should seed the cache was
+// capacity-clipped, so its own traversal was not structural: the tree
+// is built separately and kept for later replay attempts (each
+// prechecked against the then-current budget). The BFS itself lives on
+// treeBuilder (shard.go) so the sharded proposal phase runs the exact
+// same construction; this serial entry point uses a dedicated builder,
+// leaving the live flood's epoch/seen marks untouched.
 func (e *Engine) buildTree(src, entry PeerID, ttl int) *travTree {
-	tr := &travTree{}
-	e.bump()
-	e.seen[src] = e.epoch
-	e.parent[src] = noParent
-	e.frontier = append(e.frontier[:0], src)
-	for depth := 1; depth <= ttl && len(e.frontier) > 0; depth++ {
-		e.next = e.next[:0]
-		for _, u := range e.frontier {
-			nbrs, eids := e.cache.adj(u)
-			nd := travNode{u: u, vStart: int32(len(tr.visits))}
-			for k, v := range nbrs {
-				if v == e.parent[u] {
-					continue
-				}
-				if u == src && entry >= 0 && v != entry {
-					continue
-				}
-				nd.edges++
-				if e.seen[v] == e.epoch {
-					nd.dups++
-					continue
-				}
-				e.seen[v] = e.epoch
-				e.parent[v] = u
-				tr.visits = append(tr.visits, visit{v: v, parent: u, eid: eids[k], depth: int32(depth)})
-				e.next = append(e.next, v)
-			}
-			nd.vCount = int32(len(tr.visits)) - nd.vStart
-			if nd.edges > 0 {
-				tr.nodes = append(tr.nodes, nd)
-				tr.edgeEvents += uint64(nd.edges)
-				tr.dupEvents += uint64(nd.dups)
-			}
-		}
-		e.frontier, e.next = e.next, e.frontier
+	if e.serialTB == nil {
+		e.serialTB = newTreeBuilder(e.ov.NumPeers())
 	}
-	return tr
+	e.serialTB.cache = e.cache
+	return e.serialTB.build(src, entry, ttl)
 }
 
 // replayQuery re-runs one discrete flood over the cached tree. In the

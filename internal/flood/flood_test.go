@@ -180,8 +180,8 @@ func TestUtilization(t *testing.T) {
 		t.Fatalf("overfull utilization = %v", got)
 	}
 	b.PerTick[1] = 0
-	if got := b.Utilization(1); got != 1 {
-		t.Fatalf("zero-capacity utilization = %v", got)
+	if got := b.Utilization(1); got != 0 {
+		t.Fatalf("idle zero-capacity utilization = %v, want 0", got)
 	}
 }
 

@@ -1,0 +1,31 @@
+package gnet
+
+import "time"
+
+// Clock abstracts the time sources the DD-POLICE monitor's detection
+// logic reads: the Neighbor_Traffic rate-limit window, evaluation
+// latency, message timestamps, and the half-window verdict deadline.
+// Production nodes use the real clock; tests inject a fake one and
+// advance it explicitly, so detection-timing behaviour (the 50-second
+// suppression, the verdict deadline, the one deferral) is exercised in
+// virtual time instead of being approximated with shortened windows
+// and sleeps.
+//
+// Deliberately NOT routed through the clock: transport concerns —
+// connection deadlines, dial timeouts, transient-dial backoff — which
+// pace real I/O and must follow the wall clock even under a fake one.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	// AfterFunc schedules f after d. Implementations must run f on
+	// their own goroutine (or the test's Advance call); f itself hands
+	// work to the node's run loop.
+	AfterFunc(d time.Duration, f func())
+}
+
+// realClock is the default Clock, backed by package time.
+type realClock struct{}
+
+func (realClock) Now() time.Time                      { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration     { return time.Since(t) }
+func (realClock) AfterFunc(d time.Duration, f func()) { time.AfterFunc(d, f) }

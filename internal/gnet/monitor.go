@@ -179,10 +179,10 @@ func (m *monitor) closeMinute() {
 			Type: journal.TypeWarning, Peer: int64(id),
 			Value: in, Window: m.windows,
 		})
-		if last, ok := m.lastNT[id]; ok && time.Since(last) < rateLimit {
+		if last, ok := m.lastNT[id]; ok && m.n.cfg.Clock.Since(last) < rateLimit {
 			continue
 		}
-		m.lastNT[id] = time.Now()
+		m.lastNT[id] = m.n.cfg.Clock.Now()
 		m.startEvaluation(id)
 	}
 }
@@ -198,13 +198,13 @@ func (m *monitor) startEvaluation(suspect int32) {
 		suspect: suspect,
 		own:     police.Report{Out: m.prevOut[suspect], In: m.prevIn[suspect]},
 		sources: make(map[[4]byte]struct{}),
-		started: time.Now(),
+		started: m.n.cfg.Clock.Now(),
 	}
 	m.pending[suspect] = ev
 	nt := protocol.NeighborTraffic{
 		SourceIP:  protocol.AddrFromNodeID(m.n.cfg.NodeID, 0).IP,
 		SuspectIP: protocol.AddrFromNodeID(suspect, 0).IP,
-		Timestamp: uint32(time.Now().Unix()),
+		Timestamp: uint32(m.n.cfg.Clock.Now().Unix()),
 		Outgoing:  uint32(m.prevOut[suspect]),
 		Incoming:  uint32(m.prevIn[suspect]),
 	}
@@ -242,7 +242,7 @@ func (m *monitor) startEvaluation(suspect int32) {
 
 // armVerdict schedules finishEvaluation half a window out.
 func (m *monitor) armVerdict(suspect int32) {
-	time.AfterFunc(m.n.cfg.MinuteLength/2, func() {
+	m.n.cfg.Clock.AfterFunc(m.n.cfg.MinuteLength/2, func() {
 		select {
 		case m.n.ctl <- func() { m.finishEvaluation(suspect) }:
 		case <-m.n.closed:
@@ -340,7 +340,7 @@ func (m *monitor) onNeighborTraffic(from *peerConn, nt protocol.NeighborTraffic)
 	reply := protocol.NeighborTraffic{
 		SourceIP:  protocol.AddrFromNodeID(m.n.cfg.NodeID, 0).IP,
 		SuspectIP: nt.SuspectIP,
-		Timestamp: uint32(time.Now().Unix()),
+		Timestamp: uint32(m.n.cfg.Clock.Now().Unix()),
 		Outgoing:  uint32(maxf(m.prevOut[suspect], m.curOut[suspect])),
 		Incoming:  uint32(maxf(m.prevIn[suspect], m.curIn[suspect])),
 	}
@@ -371,7 +371,7 @@ func (m *monitor) recordReport(nt protocol.NeighborTraffic) {
 	if ev.missing > 0 {
 		ev.missing--
 	}
-	m.n.tel.ntLatency.ObserveDuration(time.Since(ev.started))
+	m.n.tel.ntLatency.ObserveDuration(m.n.cfg.Clock.Since(ev.started))
 	m.n.journalEvent(journal.Event{
 		Type: journal.TypeNTReport, Peer: int64(suspect),
 		Member: int64(protocol.PeerAddr{IP: nt.SourceIP}.NodeID()),

@@ -70,6 +70,12 @@ type Config struct {
 	// MinuteLength shortens the monitoring window for tests; defaults
 	// to one minute.
 	MinuteLength time.Duration
+	// Clock supplies the monitor's detection-timing time source (rate
+	// limiting, verdict deadlines, report latency, message timestamps);
+	// nil means the real clock. Transport deadlines and dial backoff
+	// always use the wall clock regardless. Tests inject a fake to
+	// drive detection timing deterministically.
+	Clock Clock
 	// Telemetry, when non-nil, receives the node's operational
 	// counters (under the "gnet." prefix): inbox depth high-water
 	// mark, send-queue stalls, handshake failures, transient-dial
@@ -260,6 +266,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.MinuteLength == 0 {
 		cfg.MinuteLength = time.Minute
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
 	}
 	proc, err := capacity.NewProcessor(cfg.CapacityPerMin, cfg.Burst)
 	if err != nil {

@@ -42,6 +42,36 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
 }
 
+// SubSeed derives a substream seed from a base seed and a coordinate
+// vector by chaining the SplitMix64 finalizer over the coordinates. It
+// is a pure function: unlike Split it consumes no generator state, so
+// the derivation does not depend on the order in which substreams are
+// requested — any worker can compute the seed for coordinate (a, b, c)
+// and get the same value. Distinct coordinate vectors (including
+// different orderings of the same values) yield decorrelated seeds.
+func SubSeed(seed uint64, dims ...uint64) uint64 {
+	z := mix64(seed + 0x9e3779b97f4a7c15)
+	for _, d := range dims {
+		z = mix64(z + 0x9e3779b97f4a7c15*d + 0x2545f4914f6cdd1d)
+	}
+	return z
+}
+
+// mix64 is the SplitMix64 output finalizer (Vigna), a strong 64-bit
+// mixing bijection.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Substream returns a Source seeded at SubSeed(seed, dims...): a
+// deterministic per-coordinate stream that can be created concurrently
+// from any goroutine without sharing or advancing a parent generator.
+func Substream(seed uint64, dims ...uint64) *Source {
+	return New(SubSeed(seed, dims...))
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.

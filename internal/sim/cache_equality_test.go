@@ -2,54 +2,71 @@ package sim
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 
 	"ddpolice/internal/faults"
+	"ddpolice/internal/flood"
 	"ddpolice/internal/journal"
 	"ddpolice/internal/telemetry"
 )
 
-// runCachedUncached executes the same config twice — traversal cache on
-// and off — capturing the event stream and detection journal of each.
-func runCachedUncached(t *testing.T, cfg Config) (cached, uncached *Result, evCached, evUncached []byte, jrCached, jrUncached []byte) {
+// runInstrumented executes one config with the event stream and
+// detection journal captured.
+func runInstrumented(t *testing.T, cfg Config) (res *Result, events, jrnl []byte) {
 	t.Helper()
-	run := func(disable bool) (*Result, []byte, []byte) {
-		c := cfg
-		c.DisableFloodCache = disable
-		var ev bytes.Buffer
-		c.Events = &ev
-		jr := journal.New(4096)
-		c.Journal = jr
-		res, err := Run(c)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var jb bytes.Buffer
-		if err := jr.WriteNDJSON(&jb); err != nil {
-			t.Fatal(err)
-		}
-		return res, ev.Bytes(), jb.Bytes()
+	var ev bytes.Buffer
+	cfg.Events = &ev
+	jr := journal.New(4096)
+	cfg.Journal = jr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	cached, evCached, jrCached = run(false)
-	uncached, evUncached, jrUncached = run(true)
-	return
+	var jb bytes.Buffer
+	if err := jr.WriteNDJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return res, ev.Bytes(), jb.Bytes()
 }
 
-// assertIdenticalRuns asserts the full acceptance property: equal
-// Results and byte-identical event/journal streams.
+// stripCache returns a copy of res with the cache-effectiveness
+// counters zeroed. Result.Cache is the one field the determinism
+// contract (DESIGN.md §13) exempts: hit/build/prewarm tallies
+// legitimately differ between cached and uncached runs and between
+// serial and sharded runs, while every other byte must match.
+func stripCache(res *Result) *Result {
+	c := *res
+	c.Cache = flood.CacheStats{}
+	return &c
+}
+
+// assertSameRun asserts the full acceptance property between two runs
+// of the same seed: equal Results (modulo Cache) and byte-identical
+// event/journal streams.
+func assertSameRun(t *testing.T, scenario, labelA, labelB string, a, b *Result, evA, evB, jrA, jrB []byte) {
+	t.Helper()
+	if !reflect.DeepEqual(stripCache(a), stripCache(b)) {
+		t.Fatalf("%s: Results diverged:\n%s: %+v\n%s: %+v", scenario, labelA, a, labelB, b)
+	}
+	if !bytes.Equal(evA, evB) {
+		t.Fatalf("%s: event streams diverged (%d vs %d bytes)", scenario, len(evA), len(evB))
+	}
+	if !bytes.Equal(jrA, jrB) {
+		t.Fatalf("%s: journals diverged (%d vs %d bytes)", scenario, len(jrA), len(jrB))
+	}
+}
+
+// assertIdenticalRuns runs cfg with the traversal cache on and off and
+// asserts the runs are indistinguishable.
 func assertIdenticalRuns(t *testing.T, scenario string, cfg Config) {
 	t.Helper()
-	cached, uncached, evC, evU, jrC, jrU := runCachedUncached(t, cfg)
-	if !reflect.DeepEqual(cached, uncached) {
-		t.Fatalf("%s: Results diverged:\ncached:   %+v\nuncached: %+v", scenario, cached, uncached)
-	}
-	if !bytes.Equal(evC, evU) {
-		t.Fatalf("%s: event streams diverged (%d vs %d bytes)", scenario, len(evC), len(evU))
-	}
-	if !bytes.Equal(jrC, jrU) {
-		t.Fatalf("%s: journals diverged (%d vs %d bytes)", scenario, len(jrC), len(jrU))
-	}
+	uc := cfg
+	uc.DisableFloodCache = true
+	cached, evC, jrC := runInstrumented(t, cfg)
+	uncached, evU, jrU := runInstrumented(t, uc)
+	assertSameRun(t, scenario, "cached", "uncached", cached, uncached, evC, evU, jrC, jrU)
 }
 
 func equalityConfig() Config {
@@ -62,39 +79,101 @@ func equalityConfig() Config {
 	return cfg
 }
 
-// TestCachedRunByteIdenticalSteady covers the no-churn attack run — the
-// configuration the perf gate benchmarks.
-func TestCachedRunByteIdenticalSteady(t *testing.T) {
-	assertIdenticalRuns(t, "steady", equalityConfig())
+// equalityScenarios enumerates every overlay-mutation regime the
+// determinism contract must hold under; the cached-vs-uncached tests
+// and the serial-vs-sharded suite share this list.
+func equalityScenarios() []struct {
+	name string
+	cfg  func() Config
+} {
+	return []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"steady", equalityConfig},
+		{"churn", func() Config {
+			cfg := equalityConfig()
+			cfg.ChurnEnabled = true
+			return cfg
+		}},
+		{"partition", func() Config {
+			cfg := equalityConfig()
+			cfg.Faults = &faults.Schedule{Partitions: []faults.PartitionEvent{
+				{StartSec: 90, EndSec: 210, Peers: []int{1, 2, 3, 4, 5, 6, 7, 8}},
+			}}
+			return cfg
+		}},
+		{"police", func() Config {
+			cfg := equalityConfig()
+			cfg.PoliceEnabled = true
+			cfg.NumAgents = 4
+			return cfg
+		}},
+		{"fairshare", func() Config {
+			cfg := equalityConfig()
+			cfg.ChurnEnabled = true
+			cfg.FairShareDrop = true
+			cfg.NumAgents = 4
+			return cfg
+		}},
+	}
 }
 
-// TestCachedRunByteIdenticalChurn covers continuous join/leave churn:
-// every SetOnline bumps the overlay version and must flush the
-// traversal cache before the next flood.
-func TestCachedRunByteIdenticalChurn(t *testing.T) {
-	cfg := equalityConfig()
-	cfg.ChurnEnabled = true
-	assertIdenticalRuns(t, "churn", cfg)
+// TestCachedRunByteIdentical covers every scenario in
+// equalityScenarios: the no-churn attack run the perf gate benchmarks
+// ("steady"); continuous join/leave churn, where every SetOnline bumps
+// the overlay version and must flush the traversal cache before the
+// next flood ("churn"); timed partition apply and heal, which mutate
+// connectivity through Cut/Uncut mid-run ("partition"); DD-POLICE
+// detection cuts, the remaining overlay mutation source ("police");
+// and the fair-share budget path under churn, where per-edge shares
+// are rebuilt on the same mutation counter the traversal cache keys on
+// ("fairshare").
+func TestCachedRunByteIdentical(t *testing.T) {
+	for _, sc := range equalityScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			assertIdenticalRuns(t, sc.name, sc.cfg())
+		})
+	}
 }
 
-// TestCachedRunByteIdenticalPartition covers timed partition apply and
-// heal, which mutate connectivity through Cut/Uncut mid-run.
-func TestCachedRunByteIdenticalPartition(t *testing.T) {
-	cfg := equalityConfig()
-	cfg.Faults = &faults.Schedule{Partitions: []faults.PartitionEvent{
-		{StartSec: 90, EndSec: 210, Peers: []int{1, 2, 3, 4, 5, 6, 7, 8}},
-	}}
-	assertIdenticalRuns(t, "partition", cfg)
+// TestShardedRunByteIdentical is the tentpole acceptance suite: for
+// every mutation scenario, the sharded two-phase tick (parallel tree
+// proposal + serial commit) at 2, 4, and 8 shards must be
+// byte-identical to the serial engine — same Result (modulo Cache),
+// same event stream, same detection journal.
+func TestShardedRunByteIdentical(t *testing.T) {
+	for _, sc := range equalityScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			serial, evS, jrS := runInstrumented(t, sc.cfg())
+			for _, shards := range []int{2, 4, 8} {
+				cfg := sc.cfg()
+				cfg.Shards = shards
+				sharded, evP, jrP := runInstrumented(t, cfg)
+				label := fmt.Sprintf("shards=%d", shards)
+				assertSameRun(t, sc.name+"/"+label, "serial", label,
+					serial, sharded, evS, evP, jrS, jrP)
+			}
+		})
+	}
 }
 
-// TestCachedRunByteIdenticalPolice covers DD-POLICE detection cuts (and
-// the fair-share baseline alongside), the remaining overlay mutation
-// source.
-func TestCachedRunByteIdenticalPolice(t *testing.T) {
+// TestShardedRunEngagesPrewarm guards the sharded suite against
+// passing vacuously: a sharded steady run must actually route tree
+// builds through the proposal phase.
+func TestShardedRunEngagesPrewarm(t *testing.T) {
 	cfg := equalityConfig()
-	cfg.PoliceEnabled = true
-	cfg.NumAgents = 4
-	assertIdenticalRuns(t, "police", cfg)
+	cfg.Shards = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.Prewarmed == 0 {
+		t.Fatalf("proposal phase never built a tree: %+v", res.Cache)
+	}
+	if res.Cache.Hits == 0 {
+		t.Fatalf("prewarmed trees never replayed: %+v", res.Cache)
+	}
 }
 
 // TestSteadyRunEngagesCache guards against the equality suite passing
@@ -117,13 +196,3 @@ func TestSteadyRunEngagesCache(t *testing.T) {
 	}
 }
 
-// TestCachedRunByteIdenticalFairShare covers the fair-share budget path
-// under churn, where per-edge shares are rebuilt on the same mutation
-// counter the traversal cache keys on.
-func TestCachedRunByteIdenticalFairShare(t *testing.T) {
-	cfg := equalityConfig()
-	cfg.ChurnEnabled = true
-	cfg.FairShareDrop = true
-	cfg.NumAgents = 4
-	assertIdenticalRuns(t, "fairshare", cfg)
-}

@@ -51,13 +51,19 @@ func RunParallel(cfgs []Config) ([]*Result, error) {
 }
 
 // Averaged runs the same configuration with the given seeds and merges
-// scalar outputs by arithmetic mean (series element-wise, counters by
+// scalar outputs by arithmetic mean: series element-wise, counters by
 // rounded mean, control-overhead message counts per class by rounded
-// mean). Non-scalar fields — Minutes, AgentIDs, Stages, Telemetry —
-// remain the first seed's run verbatim: they are full per-minute /
-// per-stage structures whose element-wise mean would misrepresent runs
-// that diverge in length or agent placement. It reduces run-to-run
-// noise for the figure sweeps.
+// mean, and the traversal-cache effectiveness counters (Result.Cache)
+// field-wise by rounded mean.
+//
+// First-seed-only fields — the single authoritative list: Minutes,
+// AgentIDs, Stages, and Telemetry remain the first seed's run verbatim.
+// They are full per-minute / per-stage / per-instrument structures
+// whose element-wise mean would misrepresent runs that diverge in
+// length, agent placement, or instrument set; treat them as "one
+// representative run", not a cross-seed aggregate. Everything else in
+// Result is averaged. It reduces run-to-run noise for the figure
+// sweeps.
 func Averaged(cfg Config, seeds []uint64) (*Result, error) {
 	if len(seeds) == 0 {
 		return Run(cfg)
@@ -105,6 +111,13 @@ func mergeResults(rs []*Result) *Result {
 		out.Overhead.NeighborListMsgs += r.Overhead.NeighborListMsgs
 		out.Overhead.NeighborTrafficMsgs += r.Overhead.NeighborTrafficMsgs
 		out.Overhead.VerifyMsgs += r.Overhead.VerifyMsgs
+		out.Cache.Hits += r.Cache.Hits
+		out.Cache.Misses += r.Cache.Misses
+		out.Cache.Builds += r.Cache.Builds
+		out.Cache.Prewarmed += r.Cache.Prewarmed
+		out.Cache.Fallbacks += r.Cache.Fallbacks
+		out.Cache.Flushes += r.Cache.Flushes
+		out.Cache.Trees += r.Cache.Trees
 		for i := range out.SuccessSeries {
 			if i < len(r.SuccessSeries) {
 				out.SuccessSeries[i] += r.SuccessSeries[i]
@@ -129,6 +142,16 @@ func mergeResults(rs []*Result) *Result {
 	out.Overhead.NeighborListMsgs = roundDivU64(out.Overhead.NeighborListMsgs, n)
 	out.Overhead.NeighborTrafficMsgs = roundDivU64(out.Overhead.NeighborTrafficMsgs, n)
 	out.Overhead.VerifyMsgs = roundDivU64(out.Overhead.VerifyMsgs, n)
+	// Cache counters are plain scalars and average cleanly; reporting
+	// the first seed's values verbatim (the previous behaviour) let one
+	// run's hit/miss/replay profile masquerade as the sweep's.
+	out.Cache.Hits = roundDivU64(out.Cache.Hits, n)
+	out.Cache.Misses = roundDivU64(out.Cache.Misses, n)
+	out.Cache.Builds = roundDivU64(out.Cache.Builds, n)
+	out.Cache.Prewarmed = roundDivU64(out.Cache.Prewarmed, n)
+	out.Cache.Fallbacks = roundDivU64(out.Cache.Fallbacks, n)
+	out.Cache.Flushes = roundDivU64(out.Cache.Flushes, n)
+	out.Cache.Trees = roundDiv(out.Cache.Trees, n)
 	for i := range out.SuccessSeries {
 		out.SuccessSeries[i] /= n
 	}
