@@ -31,12 +31,14 @@ test:
 race:
 	$(GO) test -race -run 'Telemetry|Monitor|Evaluation|Duplicate|MergeResults|Averaged|Parallel|Histogram|Journal' ./internal/gnet/ ./internal/sim/ ./internal/telemetry/ ./internal/journal/
 
-# racesmoke runs the flood/sim/gnet suites in full under the race
-# detector: the sharded proposal phase (flood.Engine.PrewarmTrees and
-# the sim byte-identity matrix at 2/4/8 shards) only races when whole
-# ticks run, which the scoped `race` regex above does not cover.
+# racesmoke runs the flood/sim/gnet/overload suites in full under the
+# race detector: the sharded proposal phase (flood.Engine.PrewarmTrees
+# and the sim byte-identity matrix at 2/4/8 shards) only races when
+# whole ticks run, which the scoped `race` regex above does not cover;
+# the gnet suite includes the overload chaos cases (quarantine under
+# flood, degraded mode, dual-queue send pumps).
 racesmoke:
-	$(GO) test -race ./internal/flood/ ./internal/sim/ ./internal/gnet/
+	$(GO) test -race ./internal/flood/ ./internal/sim/ ./internal/gnet/ ./internal/overload/ ./internal/capacity/
 
 # The chaos pass runs the fault-injection suites under the race
 # detector: injected resets with reconnect backoff, cut-vs-crash
@@ -51,13 +53,15 @@ smoke:
 	./scripts/metrics_smoke.sh
 
 # bench regenerates the committed perf trajectory (BENCH.json) from the
-# pinned suite in cmd/ddbench and enforces both derived gates: the
+# pinned suite in cmd/ddbench and enforces the derived gates: the
 # traversal-cache speedup (cached vs uncached 2k-peer tick loop must
-# stay >= 1.5x) and the sharded-tick speedup (serial vs 4-shard 10k
-# churn+attack loop, floor derated to GOMAXPROCS — see cmd/ddbench).
-# It also writes the timestamped BENCH_PR6.json snapshot. Timings are
-# machine-relative: compare the derived ratios across commits, not raw
-# ns across machines.
+# stay >= 1.5x), the sharded-tick speedup (serial vs 4-shard 10k
+# churn+attack loop, floor derated to GOMAXPROCS — see cmd/ddbench),
+# and the nt_flood_delivery robustness floor (control delivery >= 0.95
+# under a 3x flood with the overload plane on). It also writes the
+# timestamped BENCH_PR7.json snapshot. Timings are machine-relative:
+# compare the derived ratios across commits, not raw ns across
+# machines.
 bench:
 	$(GO) run ./cmd/ddbench -out BENCH.json -gate
 

@@ -213,3 +213,31 @@ func FaultsSVG(w io.Writer, pts []FaultPoint) error {
 	}
 	return renderChart(w, c)
 }
+
+// OverloadSVG renders the headline curve of the overload study:
+// time-to-cut vs offered-over-capacity factor, one series with the
+// overload plane off and one with it on. Points where the agent was
+// never cut are omitted from their series.
+func OverloadSVG(w io.Writer, pts []OverloadPoint) error {
+	var off, on viz.Series
+	off.Label, on.Label = "plane off", "plane on"
+	for _, p := range pts {
+		if p.TimeToCutSec < 0 {
+			continue
+		}
+		s := &off
+		if p.Plane {
+			s = &on
+		}
+		s.X = append(s.X, p.Factor)
+		s.Y = append(s.Y, p.TimeToCutSec)
+	}
+	lo := 0.0
+	return renderChart(w, &viz.Chart{
+		Title:  "Overload plane: time to cut vs offered-over-capacity",
+		XLabel: "agent rate / peer capacity",
+		YLabel: "time to first cut (s)",
+		YMin:   &lo,
+		Series: []viz.Series{off, on},
+	})
+}

@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	go run ./cmd/ddbench              # full suite -> BENCH.json (+ BENCH_PR6.json snapshot)
+//	go run ./cmd/ddbench              # full suite -> BENCH.json (+ BENCH_PR7.json snapshot)
 //	go run ./cmd/ddbench -gate        # full suite, fail if a derived speedup misses its floor
 //	go run ./cmd/ddbench -quick       # 1-iteration smoke, no gate, no snapshot
 //
-// Two derived gates: tick_2k_speedup (cached vs uncached tick loop,
-// floor -gatemin) and tick_10k_parallel_speedup (serial vs 4-shard
+// Three derived gates: tick_2k_speedup (cached vs uncached tick loop,
+// floor -gatemin), tick_10k_parallel_speedup (serial vs 4-shard
 // two-phase tick under churn + attack, floor derated to the machine's
-// GOMAXPROCS — sharding cannot buy wall-clock time without cores).
+// GOMAXPROCS — sharding cannot buy wall-clock time without cores), and
+// nt_flood_delivery (DD-POLICE control delivery under a 3x
+// offered-over-capacity flood with the overload plane on, floor 0.95 —
+// a robustness gate, not a timing one).
 //
 // Unlike `go test -bench`, the suite is a fixed list with fixed
 // iteration counts, so successive commits produce comparable rows: the
@@ -33,6 +36,7 @@ import (
 	"ddpolice/internal/flood"
 	"ddpolice/internal/gnet"
 	"ddpolice/internal/overlay"
+	"ddpolice/internal/overload"
 	"ddpolice/internal/police"
 	"ddpolice/internal/rng"
 	"ddpolice/internal/sim"
@@ -62,7 +66,7 @@ var (
 	out      = flag.String("out", "BENCH.json", "output file")
 	gate     = flag.Bool("gate", false, "fail when a derived speedup misses its floor (ignored with -quick)")
 	gateMin  = flag.Float64("gatemin", 1.5, "minimum accepted cached/uncached tick-loop speedup")
-	snapshot = flag.String("snapshot", "BENCH_PR6.json", "also write a timestamped snapshot of this run (empty disables; skipped with -quick)")
+	snapshot = flag.String("snapshot", "BENCH_PR7.json", "also write a timestamped snapshot of this run (empty disables; skipped with -quick)")
 )
 
 // measure times iters calls of op (after warmup warmup calls) and
@@ -316,6 +320,42 @@ func benchGnetNTRound() Benchmark {
 	return b
 }
 
+// ntFloodDeliveryMin is the robustness gate floor: control-plane
+// delivery under a 3x offered-over-capacity flood with the overload
+// plane enabled must stay at or above 95%.
+const ntFloodDeliveryMin = 0.95
+
+// benchNTFloodDelivery times a defended simulation whose agents offer
+// 3x every peer's processing capacity with the overload-resilience
+// plane on, and reports the run's DD-POLICE control delivery as the
+// nt_flood_delivery metric the gate enforces.
+func benchNTFloodDelivery(durationSec, iters int) (Benchmark, float64) {
+	cfg := sim.DefaultConfig()
+	cfg.NumPeers = 1000
+	cfg.Catalog.NumObjects = 2000
+	cfg.DurationSec = durationSec
+	cfg.AttackStartSec = 60
+	cfg.ChurnEnabled = false
+	cfg.NumAgents = 10
+	cfg.PoliceEnabled = true
+	cfg.Agent.RatePerMin = 3 * cfg.GoodCapacityPerMin
+	cfg.Overload = &overload.SimPlane{}
+	var delivery float64
+	b := measure("sim_nt_flood_3x", 0, iters, func(int) {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if sent := res.Overhead.Total(); sent > 0 {
+			delivery = 1 - float64(res.ControlLost)/float64(sent)
+		} else {
+			delivery = 1
+		}
+	})
+	b.Metrics["nt_flood_delivery"] = delivery
+	return b, delivery
+}
+
 func check(err error) {
 	if err != nil {
 		fatal(err)
@@ -367,6 +407,12 @@ func main() {
 		benchPoliceEvaluate(),
 		benchGnetNTRound(),
 	)
+	ntIters, ntDur := 3, 600
+	if *quick {
+		ntIters, ntDur = 1, 300
+	}
+	ntRow, ntDelivery := benchNTFloodDelivery(ntDur, ntIters)
+	doc.Benchmarks = append(doc.Benchmarks, ntRow)
 
 	speedup := uncached.NsPerOp / cached.NsPerOp
 	pspeedup := pser.NsPerOp / psh4.NsPerOp
@@ -375,9 +421,11 @@ func main() {
 	doc.Derived["tick_10k_parallel_speedup"] = pspeedup
 	doc.Derived["tick_10k_parallel_gate_min"] = pmin
 	doc.Derived["gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
+	doc.Derived["nt_flood_delivery"] = ntDelivery
 	fmt.Printf("derived: tick_2k_speedup = %.2fx\n", speedup)
 	fmt.Printf("derived: tick_10k_parallel_speedup = %.2fx (gate floor %.2fx at GOMAXPROCS=%d)\n",
 		pspeedup, pmin, runtime.GOMAXPROCS(0))
+	fmt.Printf("derived: nt_flood_delivery = %.3f (gate floor %.2f)\n", ntDelivery, ntFloodDeliveryMin)
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -406,6 +454,10 @@ func main() {
 		if pspeedup < pmin {
 			fatal(fmt.Errorf("perf gate: tick_10k_parallel_speedup %.2fx < %.2fx (GOMAXPROCS=%d)",
 				pspeedup, pmin, runtime.GOMAXPROCS(0)))
+		}
+		if ntDelivery < ntFloodDeliveryMin {
+			fatal(fmt.Errorf("robustness gate: nt_flood_delivery %.3f < %.2f",
+				ntDelivery, ntFloodDeliveryMin))
 		}
 	}
 }

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
-	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured, faults, detect")
+	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured, faults, detect, overload")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	svgDir := flag.String("svg", "", "also render one SVG per figure into this directory")
 	telemetryFlag := flag.Bool("telemetry", false, "run the telemetry study and print per-stage timing tables")
@@ -126,6 +126,11 @@ func main() {
 	}
 	if want("detect") {
 		if err := printDetectStudy(scale); err != nil {
+			fatal(err)
+		}
+	}
+	if want("overload") {
+		if err := printOverloadStudy(scale); err != nil {
 			fatal(err)
 		}
 	}
@@ -493,6 +498,32 @@ func printFaultsStudy(scale ddpolice.Scale) error {
 		fmt.Fprintf(w, "%.0f%%\t%s\t%d\t%d\t%d\t%d\t%.1f\n",
 			p.ControlLoss*100, p.Churn, p.Detections,
 			p.FalseNegatives, p.FalsePositives, p.FalseJudgment, p.Success*100)
+	}
+	return w.Flush()
+}
+
+func printOverloadStudy(scale ddpolice.Scale) error {
+	pts, err := ddpolice.OverloadStudy(scale, []float64{1, 3, 10})
+	if err != nil {
+		return err
+	}
+	saveCSV("overload_study.csv", func(w *os.File) error { return ddpolice.OverloadPointsCSV(w, pts) })
+	saveSVG("overload.svg", func(w *os.File) error { return ddpolice.OverloadSVG(w, pts) })
+	section("Overload plane: control delivery and time-to-cut vs offered-over-capacity")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "factor\tplane\tcontrol delivery (%)\tquery shed (%)\ttime to cut (s)\tdetections\tdegraded")
+	for _, p := range pts {
+		plane := "off"
+		if p.Plane {
+			plane = "on"
+		}
+		cut := "never"
+		if p.TimeToCutSec >= 0 {
+			cut = fmt.Sprintf("%.0f", p.TimeToCutSec)
+		}
+		fmt.Fprintf(w, "%.0fx\t%s\t%.1f\t%.1f\t%s\t%d\t%d\n",
+			p.Factor, plane, p.ControlDelivery*100, p.QueryShedRate*100,
+			cut, p.Detections, p.Degraded)
 	}
 	return w.Flush()
 }

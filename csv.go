@@ -249,3 +249,24 @@ func FaultPointsCSV(w io.Writer, pts []FaultPoint) error {
 	}
 	return writeAll(w, rows)
 }
+
+// OverloadPointsCSV renders the overload-resilience sweep: control
+// delivery, query shedding and time-to-cut per offered-over-capacity
+// factor, plane off vs on.
+func OverloadPointsCSV(w io.Writer, pts []OverloadPoint) error {
+	rows := [][]string{{
+		"factor", "plane", "control_delivery", "query_shed_rate",
+		"time_to_cut_sec", "detections", "degraded_transitions",
+	}}
+	for _, p := range pts {
+		plane := "off"
+		if p.Plane {
+			plane = "on"
+		}
+		rows = append(rows, []string{
+			f(p.Factor), plane, f(p.ControlDelivery), f(p.QueryShedRate),
+			f(p.TimeToCutSec), d(p.Detections), d(p.Degraded),
+		})
+	}
+	return writeAll(w, rows)
+}

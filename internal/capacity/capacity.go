@@ -39,9 +39,16 @@ type Processor struct {
 // NewProcessor creates a processor with the given sustained rate
 // (queries/min) and burst tolerance (queries). Burst defaults to one
 // second of capacity when <= 0.
+//
+// A non-positive rate is clamped to 0 (mirroring flood.Budget.take's
+// zero clamp): the processor is valid but accrues no tokens, so every
+// offered query is dropped and DropRate reports 1 once traffic has
+// been offered. This is the brownout limit of the faults plane — a
+// peer whose capacity has been scaled to nothing still accounts for
+// the queries it sheds.
 func NewProcessor(ratePerMin, burst float64) (*Processor, error) {
-	if ratePerMin <= 0 {
-		return nil, fmt.Errorf("capacity: non-positive rate %v", ratePerMin)
+	if ratePerMin < 0 {
+		ratePerMin = 0
 	}
 	p := &Processor{ratePerSec: ratePerMin / 60}
 	if burst <= 0 {
@@ -61,7 +68,10 @@ func (p *Processor) Tick(dt float64) {
 }
 
 // Offer presents n queries (fractional allowed, for fluid batches) and
-// returns how many were processed; the remainder is dropped.
+// returns how many were processed; the remainder is dropped. Accepted
+// is clamped at zero (the Budget.take clamp), so a drained — or
+// zero-rate — bucket drops the whole batch and the processed/dropped
+// ledgers always agree with what DropRate reports.
 func (p *Processor) Offer(n float64) (accepted float64) {
 	if n <= 0 {
 		return 0
@@ -69,6 +79,9 @@ func (p *Processor) Offer(n float64) (accepted float64) {
 	accepted = n
 	if accepted > p.tokens {
 		accepted = p.tokens
+	}
+	if accepted < 0 {
+		accepted = 0
 	}
 	p.tokens -= accepted
 	p.processed += accepted
@@ -109,6 +122,90 @@ func (p *Processor) DropRate() float64 {
 func (p *Processor) Reset() {
 	p.tokens = p.burst
 	p.processed, p.dropped = 0, 0
+}
+
+// ClassedProcessor splits one peer's processing capacity into a small
+// protected control reserve and a bulk query budget, so a query flood
+// can exhaust the query tokens without starving the control plane the
+// detection pipeline depends on. Control work draws its own reserve
+// first and may borrow idle query tokens; query work never touches the
+// reserve — strict priority in the direction that matters.
+type ClassedProcessor struct {
+	control Processor
+	query   Processor
+}
+
+// NewClassedProcessor splits ratePerMin into a controlFrac reserve and
+// a (1-controlFrac) query budget, each its own token bucket. Burst
+// follows the same split; controlFrac must be in (0, 1).
+func NewClassedProcessor(ratePerMin, burst, controlFrac float64) (*ClassedProcessor, error) {
+	if controlFrac <= 0 || controlFrac >= 1 {
+		return nil, fmt.Errorf("capacity: control fraction %v outside (0, 1)", controlFrac)
+	}
+	ctl, err := NewProcessor(ratePerMin*controlFrac, burst*controlFrac)
+	if err != nil {
+		return nil, err
+	}
+	qry, err := NewProcessor(ratePerMin*(1-controlFrac), burst*(1-controlFrac))
+	if err != nil {
+		return nil, err
+	}
+	return &ClassedProcessor{control: *ctl, query: *qry}, nil
+}
+
+// Tick accrues dt seconds of tokens in both buckets.
+func (cp *ClassedProcessor) Tick(dt float64) {
+	cp.control.Tick(dt)
+	cp.query.Tick(dt)
+}
+
+// TryProcessQuery attempts to process one query message from the bulk
+// budget only; the control reserve is never borrowed downward.
+func (cp *ClassedProcessor) TryProcessQuery() bool {
+	return cp.query.TryProcess()
+}
+
+// TryProcessControl attempts to process one control message: the
+// reserve first, then an idle query token. Only a node with *both*
+// buckets dry sheds control work — the last resort.
+func (cp *ClassedProcessor) TryProcessControl() bool {
+	if cp.control.tokens >= 1 {
+		cp.control.tokens--
+		cp.control.processed++
+		return true
+	}
+	if cp.query.tokens >= 1 {
+		cp.query.tokens--
+		cp.control.processed++
+		return true
+	}
+	cp.control.dropped++
+	return false
+}
+
+// QueryDropRate returns the query bucket's drop rate.
+func (cp *ClassedProcessor) QueryDropRate() float64 { return cp.query.DropRate() }
+
+// ControlDropRate returns the control plane's drop rate (drops only
+// when reserve and borrowable query tokens are both exhausted).
+func (cp *ClassedProcessor) ControlDropRate() float64 { return cp.control.DropRate() }
+
+// QueryDropped returns the cumulative shed query count.
+func (cp *ClassedProcessor) QueryDropped() float64 { return cp.query.dropped }
+
+// QueryProcessed returns the cumulative accepted query count.
+func (cp *ClassedProcessor) QueryProcessed() float64 { return cp.query.processed }
+
+// ControlDropped returns the cumulative shed control count.
+func (cp *ClassedProcessor) ControlDropped() float64 { return cp.control.dropped }
+
+// DropRate aggregates both classes: dropped/(processed+dropped), 0 idle.
+func (cp *ClassedProcessor) DropRate() float64 {
+	total := cp.control.processed + cp.control.dropped + cp.query.processed + cp.query.dropped
+	if total == 0 {
+		return 0
+	}
+	return (cp.control.dropped + cp.query.dropped) / total
 }
 
 // SaturationPoint measures one offered-load level: it simulates

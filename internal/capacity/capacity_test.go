@@ -70,12 +70,156 @@ func TestReset(t *testing.T) {
 	}
 }
 
-func TestNewProcessorErrors(t *testing.T) {
-	if _, err := NewProcessor(0, 1); err == nil {
-		t.Error("zero rate accepted")
+// TestZeroRateClamp is the regression test for the zero-rate boundary:
+// a non-positive rate clamps to 0 (mirroring flood.Budget.take), the
+// processor stays valid, and Offer/TryProcess accounting agrees with
+// DropRate — everything offered is dropped, so DropRate is exactly 1.
+func TestZeroRateClamp(t *testing.T) {
+	for _, rate := range []float64{0, -10} {
+		p, err := NewProcessor(rate, 0)
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		if p.Tokens() != 0 {
+			t.Fatalf("rate %v: tokens = %v, want 0", rate, p.Tokens())
+		}
+		if p.DropRate() != 0 {
+			t.Fatalf("rate %v: idle drop rate = %v, want 0", rate, p.DropRate())
+		}
+		if got := p.Offer(10); got != 0 {
+			t.Fatalf("rate %v: Offer accepted %v", rate, got)
+		}
+		if p.TryProcess() {
+			t.Fatalf("rate %v: TryProcess succeeded", rate)
+		}
+		p.Tick(1000) // accrues nothing at rate 0
+		if p.Tokens() != 0 {
+			t.Fatalf("rate %v: tokens after tick = %v", rate, p.Tokens())
+		}
+		if p.Processed() != 0 || p.Dropped() != 11 {
+			t.Fatalf("rate %v: processed=%v dropped=%v", rate, p.Processed(), p.Dropped())
+		}
+		if p.DropRate() != 1 {
+			t.Fatalf("rate %v: drop rate = %v, want 1", rate, p.DropRate())
+		}
 	}
-	if _, err := NewProcessor(-10, 1); err == nil {
-		t.Error("negative rate accepted")
+}
+
+// TestOfferClampedAtZero: even with an (artificially) drained bucket,
+// accepted never goes negative and the ledgers stay consistent.
+func TestOfferClampedAtZero(t *testing.T) {
+	p, _ := NewProcessor(600, 10)
+	p.Offer(10) // drain exactly
+	if got := p.Offer(5); got != 0 {
+		t.Fatalf("drained bucket accepted %v", got)
+	}
+	if p.Processed() != 10 || p.Dropped() != 5 {
+		t.Fatalf("processed=%v dropped=%v", p.Processed(), p.Dropped())
+	}
+	if got, want := p.DropRate(), 5.0/15; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("drop rate = %v, want %v", got, want)
+	}
+}
+
+func TestClassedProcessorPriority(t *testing.T) {
+	// 600/min with burst 100 and a 10% reserve: control bucket holds
+	// 10 tokens, query bucket 90.
+	cp, err := NewClassedProcessor(600, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries exhaust their own bucket and never dip into the reserve.
+	accepted := 0
+	for i := 0; i < 200; i++ {
+		if cp.TryProcessQuery() {
+			accepted++
+		}
+	}
+	if accepted != 90 {
+		t.Fatalf("query accepted = %d, want 90", accepted)
+	}
+	// Control still has its full reserve.
+	ctl := 0
+	for i := 0; i < 50; i++ {
+		if cp.TryProcessControl() {
+			ctl++
+		}
+	}
+	if ctl != 10 {
+		t.Fatalf("control accepted = %d, want reserve of 10", ctl)
+	}
+	if cp.QueryDropped() != 110 || cp.ControlDropped() != 40 {
+		t.Fatalf("dropped: query=%v control=%v", cp.QueryDropped(), cp.ControlDropped())
+	}
+	if got, want := cp.QueryDropRate(), 110.0/200; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("query drop rate = %v, want %v", got, want)
+	}
+	if got, want := cp.ControlDropRate(), 40.0/50; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("control drop rate = %v, want %v", got, want)
+	}
+	if got, want := cp.DropRate(), 150.0/250; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("aggregate drop rate = %v, want %v", got, want)
+	}
+}
+
+func TestClassedProcessorControlBorrowsQuery(t *testing.T) {
+	cp, err := NewClassedProcessor(600, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the control reserve (10 tokens); query bucket still has 90.
+	for i := 0; i < 10; i++ {
+		if !cp.TryProcessControl() {
+			t.Fatalf("reserve token %d denied", i)
+		}
+	}
+	// Control borrows idle query tokens rather than shedding.
+	if !cp.TryProcessControl() {
+		t.Fatal("control could not borrow an idle query token")
+	}
+	if cp.ControlDropped() != 0 {
+		t.Fatalf("control dropped = %v while query tokens idle", cp.ControlDropped())
+	}
+	// The borrowed token is gone from the query budget.
+	accepted := 0
+	for cp.TryProcessQuery() {
+		accepted++
+	}
+	if accepted != 89 {
+		t.Fatalf("query accepted after borrow = %d, want 89", accepted)
+	}
+}
+
+func TestClassedProcessorTickRefillsBoth(t *testing.T) {
+	cp, err := NewClassedProcessor(600, 100, 0.1) // 10/sec total
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cp.TryProcessQuery() {
+	}
+	for cp.TryProcessControl() {
+	}
+	cp.Tick(1) // +1 control, +9 query
+	ctl, qry := 0, 0
+	for cp.TryProcessControl() {
+		ctl++
+	}
+	for cp.TryProcessQuery() {
+		qry++
+	}
+	// The refilled second splits 10%/90%; control's single token plus
+	// nothing borrowable (queries drained after) — drain order matters,
+	// so drain control first: 1 reserve token, then borrows 9 query.
+	if ctl != 10 || qry != 0 {
+		t.Fatalf("after tick: control=%d query=%d, want 10/0 (reserve+borrow)", ctl, qry)
+	}
+}
+
+func TestNewClassedProcessorErrors(t *testing.T) {
+	for _, frac := range []float64{0, -0.1, 1, 1.5} {
+		if _, err := NewClassedProcessor(600, 10, frac); err == nil {
+			t.Errorf("control fraction %v accepted", frac)
+		}
 	}
 }
 

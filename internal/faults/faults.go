@@ -229,15 +229,30 @@ type PartitionEvent struct {
 	Peers    []int
 }
 
+// OverloadEvent browns out the listed peers' processing capacity
+// between StartSec (inclusive) and EndSec (exclusive): each peer's
+// per-tick query budget is scaled by Factor (0 = total brownout, 0.5 =
+// half capacity) and restored at EndSec. Overlapping events on the
+// same peer are not supported — the later restore wins.
+type OverloadEvent struct {
+	StartSec int
+	EndSec   int
+	Peers    []int
+	Factor   float64
+}
+
 // Schedule is the simulator-facing fault plan: a fixed control-message
-// loss floor (added to the congestion-derived loss each minute) and
-// timed partition/heal events. Crash-vs-graceful departures are
-// configured on overlay.ChurnConfig (CrashFraction), which the
-// simulator composes with this schedule.
+// loss floor (added to the congestion-derived loss each minute),
+// timed partition/heal events, and timed capacity brownouts.
+// Crash-vs-graceful departures are configured on overlay.ChurnConfig
+// (CrashFraction), which the simulator composes with this schedule.
 type Schedule struct {
 	// ControlLoss is an unconditional loss probability applied to every
 	// DD-POLICE control message, on top of congestion-derived loss.
 	ControlLoss float64
 	// Partitions are applied and healed by virtual-time tick.
 	Partitions []PartitionEvent
+	// Overloads are capacity brownouts applied and restored by
+	// virtual-time tick.
+	Overloads []OverloadEvent
 }

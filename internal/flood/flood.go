@@ -63,6 +63,11 @@ type Budget struct {
 	edgeRemaining []float64
 	edgePerTick   []float64
 	fairVersion   uint64
+	// fairDirty forces a share rebuild at the next Refill after a
+	// capacity change (ReserveControl, SetCapacity): those move PerTick
+	// without touching the overlay mutation counter, so version
+	// comparison alone would leave the per-edge split stale.
+	fairDirty bool
 }
 
 // NewBudget allocates a budget for n peers with a uniform per-tick
@@ -129,6 +134,44 @@ func (b *Budget) rebuildFairShare() {
 // FairShare reports whether per-connection splitting is active.
 func (b *Budget) FairShare() bool { return b.ov != nil }
 
+// ReserveControl carves a control-plane reserve out of every peer's
+// budget: the query flood is metered against the remaining (1-frac)
+// capacity from the next refill on. The overload plane's simulator
+// mirror calls this once at setup; the reserve itself is not modeled
+// as tokens here — control traffic is fluid in the sim — but the
+// query plane paying for it is what raises query drop rates while
+// control loss stays capped.
+func (b *Budget) ReserveControl(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	for i := range b.PerTick {
+		b.PerTick[i] *= 1 - frac
+		if b.Remaining[i] > b.PerTick[i] {
+			b.Remaining[i] = b.PerTick[i]
+		}
+	}
+	b.fairDirty = true
+}
+
+// SetCapacity replaces peer p's per-tick allowance (negative clamps to
+// zero), taking effect immediately on the current tick's remaining
+// tokens and on the fair-share split at the next refill. The faults
+// plane uses it for capacity brownouts.
+func (b *Budget) SetCapacity(p PeerID, perTick float64) {
+	if perTick < 0 {
+		perTick = 0
+	}
+	b.PerTick[p] = perTick
+	if b.Remaining[p] > perTick {
+		b.Remaining[p] = perTick
+	}
+	b.fairDirty = true
+}
+
 // arrivalCap returns how much may still arrive at v via the directed
 // edge e (u->v) this tick, bounded by both the edge share (fair mode)
 // and the peer's remaining total. Never negative: a cell that was
@@ -174,11 +217,12 @@ func (b *Budget) Refill() {
 		b.Remaining[i] = b.PerTick[i]
 	}
 	if b.ov != nil {
-		if b.fairVersion != b.ov.Version() {
+		if b.fairDirty || b.fairVersion != b.ov.Version() {
 			b.rebuildFairShare()
 		}
 		copy(b.edgeRemaining, b.edgePerTick)
 	}
+	b.fairDirty = false
 }
 
 func (b *Budget) utilNow(p PeerID) float64 {

@@ -23,6 +23,7 @@ import (
 	"ddpolice/internal/capacity"
 	"ddpolice/internal/faults"
 	"ddpolice/internal/journal"
+	"ddpolice/internal/overload"
 	"ddpolice/internal/police"
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/rng"
@@ -96,6 +97,14 @@ type Config struct {
 	// one journal; events interleave by arrival. Nil disables recording
 	// at a pointer check per site.
 	Journal *journal.Journal
+	// Overload, when non-nil, enables the overload-resilience plane:
+	// per-peer send queues split by class (control vs. query) with
+	// strict-priority draining and watermark shedding, a class-split
+	// processing budget with a protected control reserve, per-peer
+	// inbound quarantine circuit breakers, and degraded-mode
+	// detection. Zero fields take their documented defaults. Nil keeps
+	// the historical class-blind behaviour exactly.
+	Overload *overload.Config
 	// Reconnect, when non-nil, enables the self-healing supervisor:
 	// neighbors lost to transport faults (resets, read errors) are
 	// re-dialed with exponential backoff + jitter. Neighbors this node
@@ -153,6 +162,12 @@ type Stats struct {
 	BytesIn          uint64
 	BytesOut         uint64
 	Disconnects      []Disconnect
+
+	// Overload-plane counters (zero when Config.Overload is nil).
+	ShedQuery         uint64 // query-class messages shed (send watermark / full queue)
+	ShedControl       uint64 // control-class messages shed (last resort)
+	QuarantineDropped uint64 // inbound queries throttled by a peer's breaker
+	Degraded          bool   // node currently in degraded mode
 }
 
 // Disconnect records a DD-POLICE cut performed by this node.
@@ -210,6 +225,14 @@ type Node struct {
 	tel nodeTelemetry
 
 	monitor *monitor
+
+	// ovl is the overload-resilience plane (nil when disabled).
+	// inboxCtl is its control-priority inbox: the run loop drains it
+	// before touching queued query traffic, so NT reports and neighbor
+	// lists never wait behind a flood backlog. Nil when disabled — the
+	// select case then blocks forever and the legacy path is exact.
+	ovl      *overloadState
+	inboxCtl chan inboundMsg
 }
 
 // nodeTelemetry holds the node's resolved telemetry instruments. All
@@ -232,6 +255,14 @@ type nodeTelemetry struct {
 	evalDeferred      *telemetry.Counter // verdicts deferred for quorum
 	evalTimeoutZero   *telemetry.Counter // verdicts that scored silent members as zero
 	ntLatency         *telemetry.Histogram // NT request→report round trip, ms
+
+	// Per-class shedding split of the historical send_queue_stalls
+	// aggregate (which keeps counting both for continuity).
+	shedQuery        *telemetry.Counter // query-class messages shed under overload
+	shedControl      *telemetry.Counter // control-class messages shed (last resort)
+	quarantineDrops  *telemetry.Counter // inbound queries denied by a peer's breaker
+	quarantinedPeers *telemetry.Gauge   // peers with an open breaker right now
+	degraded         *telemetry.Gauge   // 1 while the node is in degraded mode
 }
 
 // inboundMsg is one decoded message plus its source connection.
@@ -248,6 +279,14 @@ type peerConn struct {
 	sendCh   chan []byte
 	node     *Node
 	closeOne sync.Once
+
+	// sendCtl is the dedicated control-class queue when the overload
+	// plane is enabled (nil otherwise): the write pump drains it with
+	// strict priority, so NT and neighbor-list frames never wait
+	// behind a query backlog. shedder applies watermark hysteresis to
+	// the query queue; both are guarded by sendMu like sendCh.
+	sendCtl chan []byte
+	shedder overload.Shedder
 
 	// sendMu orders send against close: senders check sendClosed under
 	// the mutex before touching sendCh, so close(sendCh) can never race
@@ -317,9 +356,24 @@ func NewNode(cfg Config) (*Node, error) {
 		evalDeferred:      cfg.Telemetry.Counter("gnet.evaluations_deferred"),
 		evalTimeoutZero:   cfg.Telemetry.Counter("gnet.evaluations_timeout_zero"),
 		ntLatency:         cfg.Telemetry.Histogram("gnet.nt_report_latency_ms"),
+
+		shedQuery:        cfg.Telemetry.Counter("gnet.shed_query"),
+		shedControl:      cfg.Telemetry.Counter("gnet.shed_control"),
+		quarantineDrops:  cfg.Telemetry.Counter("gnet.quarantine_dropped"),
+		quarantinedPeers: cfg.Telemetry.Gauge("gnet.quarantined_peers"),
+		degraded:         cfg.Telemetry.Gauge("gnet.degraded"),
 	}
 	if cfg.Faults != nil && cfg.Telemetry != nil {
 		cfg.Faults.AttachTelemetry(cfg.Telemetry)
+	}
+	if cfg.Overload != nil {
+		ovl, err := newOverloadState(*cfg.Overload, cfg.CapacityPerMin, cfg.Burst)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		n.ovl = ovl
+		n.inboxCtl = make(chan inboundMsg, 256)
 	}
 	if cfg.Police != nil {
 		if err := cfg.Police.Validate(); err != nil {
@@ -355,9 +409,12 @@ func (n *Node) Close() {
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
 	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
 	out := n.stats
 	out.Disconnects = append([]Disconnect(nil), n.stats.Disconnects...)
+	n.statsMu.Unlock()
+	if n.ovl != nil {
+		out.Degraded = n.ovl.degraded.Load()
+	}
 	return out
 }
 
@@ -572,6 +629,12 @@ func classifyFrame(frame []byte) faults.Class {
 func (n *Node) adoptConn(conn net.Conn, addr string, id int32, register bool) {
 	conn = faults.Wrap(conn, n.cfg.Faults, n.cfg.NodeID, id, classifyFrame)
 	pc := &peerConn{conn: conn, addr: addr, id: id, sendCh: make(chan []byte, 256), node: n}
+	if n.ovl != nil {
+		oc := n.ovl.cfg
+		pc.sendCh = make(chan []byte, oc.QueryQueueDepth)
+		pc.sendCtl = make(chan []byte, oc.ControlQueueDepth)
+		pc.shedder = overload.NewShedder(oc.QueryQueueDepth, oc.HighWatermark, oc.LowWatermark)
+	}
 	if register {
 		select {
 		case n.ctl <- func() {
@@ -606,8 +669,46 @@ func (pc *peerConn) close() {
 		pc.sendMu.Lock()
 		pc.sendClosed = true
 		close(pc.sendCh)
+		if pc.sendCtl != nil {
+			close(pc.sendCtl)
+		}
 		pc.sendMu.Unlock()
 	})
+}
+
+// isControlFrame classifies one outbound wire frame: Query/QueryHit
+// are the flood (query class); every other type — NT, neighbor lists,
+// Ping/Pong, Bye — is control-plane.
+func isControlFrame(frame []byte) bool {
+	if len(frame) < protocol.HeaderSize {
+		return true
+	}
+	switch frame[16] {
+	case protocol.TypeQuery, protocol.TypeQueryHit:
+		return false
+	}
+	return true
+}
+
+// shedQuery accounts one shed query-class frame: the per-class counter,
+// the historical aggregate, the node stats, and the degraded-mode
+// detector's window.
+func (n *Node) shedQuery() {
+	n.tel.sendStalls.Inc()
+	n.tel.shedQuery.Inc()
+	n.statsMu.Lock()
+	n.stats.ShedQuery++
+	n.statsMu.Unlock()
+	n.recordShed()
+}
+
+// shedControl accounts one shed control-class frame — the last resort.
+func (n *Node) shedControl() {
+	n.tel.sendStalls.Inc()
+	n.tel.shedControl.Inc()
+	n.statsMu.Lock()
+	n.stats.ShedControl++
+	n.statsMu.Unlock()
 }
 
 // send enqueues wire bytes, dropping on backpressure (a slow neighbor
@@ -616,23 +717,62 @@ func (pc *peerConn) close() {
 // of panicking: the closed flag is checked under the same mutex close()
 // holds while closing sendCh, so real panics in callers propagate
 // rather than being swallowed by a blanket recover.
+//
+// With the overload plane enabled the path is class-aware: control
+// frames go to the dedicated sendCtl queue (shed only when that queue
+// is itself full), query frames shed early once the query queue
+// crosses the high watermark and keep shedding until it drains below
+// the low one — backpressure costs the flood first.
 func (pc *peerConn) send(wire []byte) bool {
 	pc.sendMu.Lock()
 	defer pc.sendMu.Unlock()
 	if pc.sendClosed {
 		return false
 	}
+	if pc.sendCtl != nil {
+		if isControlFrame(wire) {
+			select {
+			case pc.sendCtl <- wire:
+				return true
+			default:
+				pc.node.shedControl()
+				return false
+			}
+		}
+		if pc.shedder.ShouldShed(len(pc.sendCh)) {
+			pc.node.shedQuery()
+			return false
+		}
+		select {
+		case pc.sendCh <- wire:
+			return true
+		default:
+			pc.node.shedQuery()
+			return false
+		}
+	}
 	select {
 	case pc.sendCh <- wire:
 		return true
 	default:
+		// Class-blind queue, class-aware accounting: the aggregate
+		// stall counter still ticks, split by frame type.
 		pc.node.tel.sendStalls.Inc()
+		if isControlFrame(wire) {
+			pc.node.tel.shedControl.Inc()
+		} else {
+			pc.node.tel.shedQuery.Inc()
+		}
 		return false
 	}
 }
 
 func (pc *peerConn) writeLoop() {
 	defer pc.node.wg.Done()
+	if pc.sendCtl != nil {
+		pc.writeLoopClassed()
+		return
+	}
 	for wire := range pc.sendCh {
 		if _, err := pc.conn.Write(wire); err != nil {
 			pc.conn.Close()
@@ -644,6 +784,56 @@ func (pc *peerConn) writeLoop() {
 		pc.node.statsMu.Lock()
 		pc.node.stats.BytesOut += uint64(len(wire))
 		pc.node.statsMu.Unlock()
+	}
+}
+
+// writeLoopClassed is the dual-queue write pump: control frames drain
+// with strict priority — a queued NT report goes on the wire before
+// any backlog of query forwards. After a write error both queues keep
+// draining until close, mirroring the single-queue pump.
+func (pc *peerConn) writeLoopClassed() {
+	ctl, qry := pc.sendCtl, pc.sendCh
+	failed := false
+	write := func(wire []byte) {
+		if failed {
+			return
+		}
+		if _, err := pc.conn.Write(wire); err != nil {
+			pc.conn.Close()
+			failed = true
+			return
+		}
+		pc.node.statsMu.Lock()
+		pc.node.stats.BytesOut += uint64(len(wire))
+		pc.node.statsMu.Unlock()
+	}
+	for ctl != nil || qry != nil {
+		if ctl != nil {
+			select {
+			case wire, ok := <-ctl:
+				if !ok {
+					ctl = nil
+					continue
+				}
+				write(wire)
+				continue
+			default:
+			}
+		}
+		select {
+		case wire, ok := <-ctl:
+			if !ok {
+				ctl = nil
+				continue
+			}
+			write(wire)
+		case wire, ok := <-qry:
+			if !ok {
+				qry = nil
+				continue
+			}
+			write(wire)
+		}
 	}
 }
 
@@ -671,8 +861,15 @@ func (pc *peerConn) readLoop() {
 		n.statsMu.Lock()
 		n.stats.BytesIn += uint64(protocol.HeaderSize) + uint64(msg.Header.PayloadLen)
 		n.statsMu.Unlock()
+		// Control messages bypass the query backlog: with the overload
+		// plane enabled they go to the priority inbox, so a flooded
+		// node still sees NT reports and neighbor lists promptly.
+		dest := n.inbox
+		if n.inboxCtl != nil && isControlMsg(msg.Body) {
+			dest = n.inboxCtl
+		}
 		select {
-		case n.inbox <- inboundMsg{from: pc, msg: msg}:
+		case dest <- inboundMsg{from: pc, msg: msg}:
 			n.tel.inboxHWM.SetMax(int64(len(n.inbox)))
 		case <-n.done:
 			return
@@ -738,6 +935,14 @@ func (n *Node) dropPeer(pc *peerConn, cause dropCause) {
 		case dropCut:
 			n.cutPeers[pc.id] = true
 		case dropTransport:
+			// A quarantined peer that loses its link is not re-dialed:
+			// the breaker judged it a flooder, and proactively restoring
+			// its connection would hand it a fresh queue to fill. If it
+			// dials back, the acceptor still admits it (control keeps
+			// flowing) with the breaker — and its throttle — intact.
+			if n.ovl != nil && n.ovl.isQuarantined(pc.id) {
+				break
+			}
 			if n.cfg.Reconnect != nil && !n.cutPeers[pc.id] && !n.reconnecting[pc.id] {
 				n.scheduleReconnect(pc.id, pc.addr, 0)
 			}
@@ -785,6 +990,12 @@ func (n *Node) scheduleReconnect(id int32, addr string, attempt int) {
 // blocks; success re-registers through the normal adoptConn path.
 func (n *Node) tryReconnect(id int32, addr string, attempt int) {
 	if _, have := n.peers[id]; have || n.cutPeers[id] {
+		delete(n.reconnecting, id)
+		return
+	}
+	// A backoff chain that was already in flight when the peer got
+	// quarantined stops here rather than re-dialing a judged flooder.
+	if n.ovl != nil && n.ovl.isQuarantined(id) {
 		delete(n.reconnecting, id)
 		return
 	}

@@ -28,6 +28,16 @@ func (n *Node) runLoop() {
 		minuteCh = minute.C
 		defer minute.Stop()
 	}
+	// The overload plane rolls its breaker/detector windows on its own
+	// ticker so it works with or without the monitor. ovlCh is nil when
+	// the plane is disabled, as is inboxCtl — those cases then never
+	// fire and the loop is exactly the historical one.
+	var ovlCh <-chan time.Time
+	if n.ovl != nil {
+		ovlTick := time.NewTicker(n.cfg.MinuteLength)
+		ovlCh = ovlTick.C
+		defer ovlTick.Stop()
+	}
 	last := time.Now()
 	for {
 		select {
@@ -36,17 +46,49 @@ func (n *Node) runLoop() {
 		case fn := <-n.ctl:
 			fn()
 		case now := <-refill.C:
-			n.proc.Tick(now.Sub(last).Seconds())
+			if n.ovl != nil {
+				n.ovl.cproc.Tick(now.Sub(last).Seconds())
+			} else {
+				n.proc.Tick(now.Sub(last).Seconds())
+			}
 			last = now
 		case <-minuteCh:
 			n.monitor.closeMinute()
+		case <-ovlCh:
+			n.closeOverloadWindow()
+		case in := <-n.inboxCtl:
+			n.handle(in)
 		case in := <-n.inbox:
+			// Strict priority inbound too: drain any control messages
+			// that arrived while this query was queued.
+			n.drainCtlInbox()
 			n.handle(in)
 		}
 	}
 }
 
+// drainCtlInbox handles every currently-queued control message
+// (run-loop goroutine only; no-op when the overload plane is off).
+func (n *Node) drainCtlInbox() {
+	if n.inboxCtl == nil {
+		return
+	}
+	for {
+		select {
+		case in := <-n.inboxCtl:
+			n.handle(in)
+		default:
+			return
+		}
+	}
+}
+
 // handle dispatches one inbound message (run-loop goroutine only).
+// With the overload plane enabled, processing-heavy control messages
+// (Ping, neighbor lists, NT) draw from the protected control reserve —
+// which borrows idle query tokens and so only ever sheds when the node
+// is completely dry. Bye is exempt: it is terminal and dropping it
+// would leak the link's bookkeeping.
 func (n *Node) handle(in inboundMsg) {
 	switch body := in.msg.Body.(type) {
 	case protocol.Query:
@@ -54,6 +96,9 @@ func (n *Node) handle(in inboundMsg) {
 	case protocol.QueryHit:
 		n.handleQueryHit(in.from, in.msg.Header, body)
 	case protocol.Ping:
+		if !n.admitControl() {
+			return
+		}
 		pong := protocol.Pong{Addr: protocol.AddrFromNodeID(0, 0), FileCount: uint32(len(n.shared))}
 		in.from.send(protocol.Encode(nil, in.msg.Header.GUID, 1, 0, pong))
 	case protocol.Pong:
@@ -62,13 +107,32 @@ func (n *Node) handle(in inboundMsg) {
 		n.dropPeer(in.from, dropOrderly)
 	case protocol.NeighborList:
 		if n.monitor != nil {
+			if !n.admitControl() {
+				return
+			}
 			n.monitor.onNeighborList(in.from.id, body)
 		}
 	case protocol.NeighborTraffic:
 		if n.monitor != nil {
+			if !n.admitControl() {
+				return
+			}
 			n.monitor.onNeighborTraffic(in.from, body)
 		}
 	}
+}
+
+// admitControl meters one inbound control message against the
+// protected reserve; always true when the overload plane is off.
+func (n *Node) admitControl() bool {
+	if n.ovl == nil {
+		return true
+	}
+	if n.ovl.cproc.TryProcessControl() {
+		return true
+	}
+	n.shedControl()
+	return false
 }
 
 // handleQuery implements the §2.3 peer behaviour: count the arrival,
@@ -107,11 +171,29 @@ func (n *Node) handleQuery(from *peerConn, h protocol.Header, q protocol.Query) 
 	n.rememberGUID(h.GUID)
 	n.guidRoute[h.GUID] = from
 
-	if !n.proc.TryProcess() {
+	// Quarantine circuit breaker: the offer is counted (above — the
+	// monitor and the breaker both judge offered load), but a
+	// quarantined or probing peer only gets its per-window trickle.
+	if n.ovl != nil && !n.ovl.admitQuery(from.id) {
+		n.tel.quarantineDrops.Inc()
+		n.ovl.winShed.Add(1)
+		n.statsMu.Lock()
+		n.stats.QuarantineDropped++
+		n.statsMu.Unlock()
+		return
+	}
+
+	if !n.tryProcessQuery() {
 		n.statsMu.Lock()
 		n.stats.QueriesDropped++
 		n.statsMu.Unlock()
+		// A capacity drop is the saturation signal itself: it feeds the
+		// degraded-mode detector alongside the overload plane's sheds.
+		n.recordShed()
 		return
+	}
+	if n.ovl != nil {
+		n.ovl.winHandled.Add(1)
 	}
 	n.statsMu.Lock()
 	n.stats.QueriesProcessed++
@@ -143,6 +225,16 @@ func (n *Node) handleQuery(from *peerConn, h protocol.Header, q protocol.Query) 
 			}
 		}
 	}
+}
+
+// tryProcessQuery draws one query-processing token: the class-split
+// bulk budget when the overload plane is on, the historical single
+// bucket otherwise.
+func (n *Node) tryProcessQuery() bool {
+	if n.ovl != nil {
+		return n.ovl.cproc.TryProcessQuery()
+	}
+	return n.proc.TryProcess()
 }
 
 // handleQueryHit routes a hit backwards along the query's reverse path;

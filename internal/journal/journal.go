@@ -60,6 +60,19 @@ const (
 	TypePartition = "partition"
 	// TypeHeal: a timed partition healed (Value = edges restored).
 	TypeHeal = "heal"
+	// TypeShed: a node shed messages under overload (Detail = class
+	// "query"/"control", Window = minute, Value = messages shed).
+	TypeShed = "shed"
+	// TypeDegraded: a node entered or left degraded mode (Detail =
+	// "enter"/"exit", Window = minute, Value = shed fraction).
+	TypeDegraded = "degraded"
+	// TypeQuarantine: a peer's overload circuit breaker transitioned
+	// (Peer = subject, Detail = "quarantine"/"probe"/"restore",
+	// Value = offered inbound queries that window).
+	TypeQuarantine = "quarantine"
+	// TypeOverload: a scheduled capacity brownout started or ended
+	// (Detail = "start"/"end", Value = capacity factor, K = peers).
+	TypeOverload = "overload"
 )
 
 // Event is one journal entry. Node is the acting/observing peer, Peer

@@ -186,8 +186,9 @@ type Police struct {
 	cutGood    map[PeerID]bool // good peers cut at least once (false negatives)
 	detected   map[PeerID]bool // bad peers detected at least once
 
-	lossProb float64
-	lossSrc  *rng.Source
+	lossProb  float64
+	lossSrc   *rng.Source
+	lostCount uint64 // control messages dropped by the loss model
 
 	// jr receives detection-lifecycle events stamped with the
 	// simulator's logical clock; nil disables journaling.
@@ -330,10 +331,20 @@ func (p *Police) SetControlLoss(prob float64, src *rng.Source) {
 	p.lossSrc = src
 }
 
-// lost reports whether one control message should be dropped.
+// lost reports whether one control message should be dropped, counting
+// losses so delivery rates are measurable after a run.
 func (p *Police) lost() bool {
-	return p.lossSrc != nil && p.lossProb > 0 && p.lossSrc.Bool(p.lossProb)
+	if p.lossSrc != nil && p.lossProb > 0 && p.lossSrc.Bool(p.lossProb) {
+		p.lostCount++
+		return true
+	}
+	return false
 }
+
+// ControlLost returns how many control messages the loss model dropped
+// so far. Overhead().Total() counts messages sent (lost ones included),
+// so the run's control-plane delivery rate is 1 - lost/sent.
+func (p *Police) ControlLost() uint64 { return p.lostCount }
 
 // SetJournal attaches an event journal recording the detection
 // lifecycle (warning → NT round → indicators → cut) with logical

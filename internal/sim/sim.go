@@ -17,6 +17,7 @@ import (
 	"ddpolice/internal/journal"
 	"ddpolice/internal/metrics"
 	"ddpolice/internal/overlay"
+	"ddpolice/internal/overload"
 	"ddpolice/internal/police"
 	"ddpolice/internal/rng"
 	"ddpolice/internal/telemetry"
@@ -65,6 +66,18 @@ type Config struct {
 	// ControlLossCap bounds the congestion-driven loss probability of
 	// DD-POLICE control messages (lists, reports). 0 disables loss.
 	ControlLossCap float64
+
+	// Overload, when non-nil, enables the simulator mirror of the
+	// overload-resilience plane (internal/overload.SimPlane): a
+	// control-plane capacity reserve is carved out of every peer's
+	// query budget (queries shed more under flood), the
+	// congestion-derived control-message loss is capped at the plane's
+	// much tighter ControlLossCap (the reserve protects the control
+	// plane from congestion — injected fault loss still adds on top),
+	// and per-minute shed/degraded markers are journaled. Zero fields
+	// take their defaults. Nil keeps the historical behaviour exactly:
+	// identical-seed runs produce byte-identical Results and journals.
+	Overload *overload.SimPlane
 
 	// Faults, when non-nil, injects scheduled failures: an
 	// unconditional control-message loss floor (added to the
@@ -236,6 +249,22 @@ func (c Config) Validate() error {
 				return fmt.Errorf("sim: Faults.Partitions[%d] has no peers", i)
 			}
 		}
+		for i, oe := range c.Faults.Overloads {
+			if oe.StartSec < 0 || oe.EndSec <= oe.StartSec {
+				return fmt.Errorf("sim: Faults.Overloads[%d] spans [%d,%d)", i, oe.StartSec, oe.EndSec)
+			}
+			if len(oe.Peers) == 0 {
+				return fmt.Errorf("sim: Faults.Overloads[%d] has no peers", i)
+			}
+			if oe.Factor < 0 || oe.Factor >= 1 {
+				return fmt.Errorf("sim: Faults.Overloads[%d].Factor = %v (want [0, 1))", i, oe.Factor)
+			}
+		}
+	}
+	if c.Overload != nil {
+		if err := c.Overload.WithDefaults().Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -258,6 +287,10 @@ type Result struct {
 	FalsePositives int // agents never identified (paper naming)
 	Overhead       police.Overhead
 	CutEdges       int
+	// ControlLost counts DD-POLICE control messages dropped by the loss
+	// model; 1 - ControlLost/Overhead.Total() is the control-plane
+	// delivery rate.
+	ControlLost uint64
 
 	// Attack-side accounting.
 	AgentIDs     []overlay.PeerID
@@ -377,6 +410,22 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.FairShareDrop {
 		budget.EnableFairShare(ov)
 	}
+	// Overload plane mirror: carve the control reserve out of every
+	// peer's query budget and arm the degraded-mode detector. The
+	// queryPerTick baseline (post-reserve) is also what brownout events
+	// scale and restore.
+	queryPerTick := cfg.GoodCapacityPerMin / 60
+	var ovp *overload.SimPlane
+	var degDet *overload.Detector
+	if cfg.Overload != nil {
+		p := cfg.Overload.WithDefaults()
+		ovp = &p
+		budget.ReserveControl(p.ControlReserveFrac)
+		queryPerTick *= 1 - p.ControlReserveFrac
+		degDet = overload.NewDetector(overload.Config{
+			DegradedShedFrac: p.DegradedLossThreshold,
+		}.WithDefaults())
+	}
 	coll := metrics.NewCollector()
 	lossSrc := root.Split()
 	events := newEventLog(cfg.Events)
@@ -399,6 +448,7 @@ func Run(cfg Config) (*Result, error) {
 	crashCtr := reg.Counter("sim.crash_departures")
 	partCutCtr := reg.Counter("sim.partition_cut_edges")
 	partHealCtr := reg.Counter("sim.partition_healed_edges")
+	brownoutCtr := reg.Counter("sim.overload_brownouts")
 
 	var (
 		onlineBuf  []overlay.PeerID
@@ -448,6 +498,31 @@ func Run(cfg Config) (*Result, error) {
 			if t == p.ev.EndSec {
 				if healed := p.heal(ov, partHealCtr); healed > 0 {
 					jr.Record(journal.Event{T: now, Type: journal.TypeHeal, Value: float64(healed)})
+				}
+			}
+		}
+		// Capacity brownouts scale the listed peers' query budgets for
+		// the event's span and restore the (post-reserve) baseline after.
+		if cfg.Faults != nil {
+			for _, oe := range cfg.Faults.Overloads {
+				if t == oe.StartSec {
+					for _, p := range oe.Peers {
+						budget.SetCapacity(overlay.PeerID(p), queryPerTick*oe.Factor)
+					}
+					brownoutCtr.Inc()
+					jr.Record(journal.Event{
+						T: now, Type: journal.TypeOverload, Detail: "start",
+						Value: oe.Factor, K: len(oe.Peers),
+					})
+				}
+				if t == oe.EndSec {
+					for _, p := range oe.Peers {
+						budget.SetCapacity(overlay.PeerID(p), queryPerTick)
+					}
+					jr.Record(journal.Event{
+						T: now, Type: journal.TypeOverload, Detail: "end",
+						Value: oe.Factor, K: len(oe.Peers),
+					})
 				}
 			}
 		}
@@ -599,6 +674,36 @@ func Run(cfg Config) (*Result, error) {
 				events.drainDetections(pol)
 				events.minute(now+1, len(ms)-1, ms[len(ms)-1], ov.CutCount())
 			}
+			if ovp != nil {
+				// Journal the minute's query-plane shedding and roll the
+				// degraded-mode detector so late cuts are attributable to
+				// saturation. Gated on the overload plane: a nil plane
+				// journals exactly the historical stream.
+				ms := coll.Minutes()
+				last := ms[len(ms)-1]
+				minute := len(ms) - 1
+				if last.CapacityDrop > 0 {
+					jr.Record(journal.Event{
+						T: now + 1, Type: journal.TypeShed,
+						Detail: overload.ClassQuery.String(),
+						Value:  last.CapacityDrop, Window: minute,
+					})
+				}
+				if degDet.CloseWindow(last.CapacityDrop, last.QueryMsgs) {
+					detail := "exit"
+					if degDet.Degraded() {
+						detail = "enter"
+					}
+					frac := 0.0
+					if total := last.QueryMsgs + last.CapacityDrop; total > 0 {
+						frac = last.CapacityDrop / total
+					}
+					jr.Record(journal.Event{
+						T: now + 1, Type: journal.TypeDegraded,
+						Detail: detail, Value: frac, Window: minute,
+					})
+				}
+			}
 			if pol != nil {
 				// DD-POLICE control messages ride the same saturated
 				// links as the attack traffic: derive their loss rate
@@ -611,8 +716,15 @@ func Run(cfg Config) (*Result, error) {
 				if total := last.QueryMsgs + last.CapacityDrop; total > 0 {
 					loss = last.CapacityDrop / total
 				}
-				if loss > cfg.ControlLossCap {
-					loss = cfg.ControlLossCap
+				// The overload plane's control reserve bounds how much
+				// congestion can hurt the control plane: its (much
+				// tighter) cap replaces the historical one.
+				lossCap := cfg.ControlLossCap
+				if ovp != nil {
+					lossCap = ovp.ControlLossCap
+				}
+				if loss > lossCap {
+					loss = lossCap
 				}
 				if cfg.Faults != nil {
 					loss += cfg.Faults.ControlLoss
@@ -656,6 +768,7 @@ func Run(cfg Config) (*Result, error) {
 		res.FalseNegatives = pol.FalseNegatives()
 		res.FalsePositives = pol.FalsePositives(fleet.IDs())
 		res.Overhead = pol.Overhead()
+		res.ControlLost = pol.ControlLost()
 	}
 	res.Cache = eng.CacheStats()
 	if cfg.Telemetry {

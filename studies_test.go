@@ -222,3 +222,34 @@ func TestFaultsStudyShape(t *testing.T) {
 			lossy.FalseJudgment, clean.FalseJudgment)
 	}
 }
+
+func TestOverloadStudyShape(t *testing.T) {
+	factors := []float64{3}
+	pts, err := OverloadStudy(QuickScale(), factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*len(factors) {
+		t.Fatalf("rows = %d, want %d (plane off+on per factor)", len(pts), 2*len(factors))
+	}
+	off, on := pts[0], pts[1]
+	if off.Plane || !on.Plane {
+		t.Fatalf("row order = %+v, %+v; want plane off then on", off, on)
+	}
+	for _, p := range pts {
+		if p.Detections == 0 {
+			t.Errorf("plane=%v: defense never fired at 3x", p.Plane)
+		}
+		if p.TimeToCutSec < 0 {
+			t.Errorf("plane=%v: agent never cut at 3x", p.Plane)
+		}
+		if p.QueryShedRate <= 0 {
+			t.Errorf("plane=%v: no query shedding at 3x over capacity", p.Plane)
+		}
+	}
+	// The headline claim: with the plane on, control delivery holds
+	// the >= 95% bound even while queries shed.
+	if on.ControlDelivery < 0.95 {
+		t.Errorf("plane-on control delivery = %.3f, want >= 0.95", on.ControlDelivery)
+	}
+}
