@@ -36,9 +36,10 @@ race:
 # and the sim byte-identity matrix at 2/4/8 shards) only races when
 # whole ticks run, which the scoped `race` regex above does not cover;
 # the gnet suite includes the overload chaos cases (quarantine under
-# flood, degraded mode, dual-queue send pumps).
+# flood, degraded mode, dual-queue send pumps); metricsrv's concurrent
+# scrape-vs-churn test covers the exposition plane's snapshot paths.
 racesmoke:
-	$(GO) test -race ./internal/flood/ ./internal/sim/ ./internal/gnet/ ./internal/overload/ ./internal/capacity/
+	$(GO) test -race ./internal/flood/ ./internal/sim/ ./internal/gnet/ ./internal/overload/ ./internal/capacity/ ./internal/metricsrv/
 
 # The chaos pass runs the fault-injection suites under the race
 # detector: injected resets with reconnect backoff, cut-vs-crash
@@ -57,11 +58,12 @@ smoke:
 # traversal-cache speedup (cached vs uncached 2k-peer tick loop must
 # stay >= 1.5x), the sharded-tick speedup (serial vs 4-shard 10k
 # churn+attack loop, floor derated to GOMAXPROCS — see cmd/ddbench),
-# and the nt_flood_delivery robustness floor (control delivery >= 0.95
-# under a 3x flood with the overload plane on). It also writes the
-# timestamped BENCH_PR7.json snapshot. Timings are machine-relative:
-# compare the derived ratios across commits, not raw ns across
-# machines.
+# the nt_flood_delivery robustness floor (control delivery >= 0.95
+# under a 3x flood with the overload plane on), and the trace_overhead
+# ceiling (tick loop with a sample-rate-0 tracer <= 1.03x untraced).
+# It also writes the timestamped BENCH_PR8.json snapshot. Timings are
+# machine-relative: compare the derived ratios across commits, not raw
+# ns across machines.
 bench:
 	$(GO) run ./cmd/ddbench -out BENCH.json -gate
 

@@ -5,17 +5,19 @@
 //
 // Usage:
 //
-//	go run ./cmd/ddbench              # full suite -> BENCH.json (+ BENCH_PR7.json snapshot)
+//	go run ./cmd/ddbench              # full suite -> BENCH.json (+ BENCH_PR8.json snapshot)
 //	go run ./cmd/ddbench -gate        # full suite, fail if a derived speedup misses its floor
 //	go run ./cmd/ddbench -quick       # 1-iteration smoke, no gate, no snapshot
 //
-// Three derived gates: tick_2k_speedup (cached vs uncached tick loop,
+// Four derived gates: tick_2k_speedup (cached vs uncached tick loop,
 // floor -gatemin), tick_10k_parallel_speedup (serial vs 4-shard
 // two-phase tick under churn + attack, floor derated to the machine's
-// GOMAXPROCS — sharding cannot buy wall-clock time without cores), and
+// GOMAXPROCS — sharding cannot buy wall-clock time without cores),
 // nt_flood_delivery (DD-POLICE control delivery under a 3x
 // offered-over-capacity flood with the overload plane on, floor 0.95 —
-// a robustness gate, not a timing one).
+// a robustness gate, not a timing one), and trace_overhead (the tick
+// loop with a sample-rate-0 tracer attached vs untraced, ceiling 1.03 —
+// the disabled tracing plane must cost under 3%).
 //
 // Unlike `go test -bench`, the suite is a fixed list with fixed
 // iteration counts, so successive commits produce comparable rows: the
@@ -41,6 +43,7 @@ import (
 	"ddpolice/internal/rng"
 	"ddpolice/internal/sim"
 	"ddpolice/internal/topology"
+	"ddpolice/internal/trace"
 )
 
 // Benchmark is one BENCH.json row.
@@ -66,7 +69,7 @@ var (
 	out      = flag.String("out", "BENCH.json", "output file")
 	gate     = flag.Bool("gate", false, "fail when a derived speedup misses its floor (ignored with -quick)")
 	gateMin  = flag.Float64("gatemin", 1.5, "minimum accepted cached/uncached tick-loop speedup")
-	snapshot = flag.String("snapshot", "BENCH_PR7.json", "also write a timestamped snapshot of this run (empty disables; skipped with -quick)")
+	snapshot = flag.String("snapshot", "BENCH_PR8.json", "also write a timestamped snapshot of this run (empty disables; skipped with -quick)")
 )
 
 // measure times iters calls of op (after warmup warmup calls) and
@@ -165,37 +168,64 @@ func benchFloodBatch(cached bool) Benchmark {
 	return b
 }
 
-// benchSimTick times full sim runs and reports per-tick cost: the
-// steady-topology (no churn, no attack) query/flood loop that the
-// traversal cache accelerates. Full mode keeps the best of three runs
-// per mode so scheduler noise does not leak into the committed ratio.
-func benchSimTick(name string, peers, durationSec int, disableCache bool) Benchmark {
-	cfg := sim.DefaultConfig()
-	cfg.NumPeers = peers
-	cfg.DurationSec = durationSec
-	cfg.ChurnEnabled = false
-	cfg.DisableFloodCache = disableCache
+// tickVariant is one configuration of the steady-topology tick loop.
+// traced attaches a sample-rate-0 tracer, measuring what the
+// instrumentation costs when every trace is sampled out — the price of
+// merely having the plane wired in.
+type tickVariant struct {
+	name         string
+	disableCache bool
+	traced       bool
+}
+
+// benchSimTickSet times full sim runs of several tick-loop variants and
+// reports per-tick cost. The variants are measured interleaved
+// (variant A run 1, variant B run 1, ..., A run 2, B run 2, ...) so
+// slow machine drift — thermal throttling, a co-tenant waking up —
+// lands on every variant equally instead of biasing the derived
+// ratios; each variant still keeps its best run.
+func benchSimTickSet(peers, durationSec int, variants []tickVariant) []Benchmark {
 	runs := 3
 	if *quick {
 		runs = 1
 	}
-	var best Benchmark
+	best := make([]Benchmark, len(variants))
 	for r := 0; r < runs; r++ {
-		b := measure(fmt.Sprintf("%s(run%d)", name, r+1), 0, 1, func(int) {
-			if _, err := sim.Run(cfg); err != nil {
-				fatal(err)
+		for i, v := range variants {
+			cfg := sim.DefaultConfig()
+			cfg.NumPeers = peers
+			cfg.DurationSec = durationSec
+			cfg.ChurnEnabled = false
+			cfg.DisableFloodCache = v.disableCache
+			if v.traced {
+				cfg.Trace = trace.New(0, 0)
 			}
-		})
-		if r == 0 || b.NsPerOp < best.NsPerOp {
-			best = b
+			b := measure(fmt.Sprintf("%s(run%d)", v.name, r+1), 0, 1, func(int) {
+				if _, err := sim.Run(cfg); err != nil {
+					fatal(err)
+				}
+			})
+			if r == 0 || b.NsPerOp < best[i].NsPerOp {
+				best[i] = b
+			}
 		}
 	}
-	best.Name = name
-	best.NsPerOp /= float64(durationSec) // per simulated tick
-	best.Metrics["ticks_per_sec"] = 1e9 / best.NsPerOp
-	best.Metrics["peers_per_sec"] = float64(peers) * 1e9 / best.NsPerOp
-	fmt.Printf("%-28s %31.0f ns/tick %14.0f peers/sec\n", name, best.NsPerOp, best.Metrics["peers_per_sec"])
+	for i, v := range variants {
+		b := &best[i]
+		b.Name = v.name
+		b.NsPerOp /= float64(durationSec) // per simulated tick
+		b.Metrics["ticks_per_sec"] = 1e9 / b.NsPerOp
+		b.Metrics["peers_per_sec"] = float64(peers) * 1e9 / b.NsPerOp
+		fmt.Printf("%-28s %31.0f ns/tick %14.0f peers/sec\n", b.Name, b.NsPerOp, b.Metrics["peers_per_sec"])
+	}
 	return best
+}
+
+// benchSimTick is the single-variant form of benchSimTickSet, for rows
+// that feed no cross-variant ratio.
+func benchSimTick(name string, peers, durationSec int, disableCache, traced bool) Benchmark {
+	return benchSimTickSet(peers, durationSec,
+		[]tickVariant{{name, disableCache, traced}})[0]
 }
 
 // benchParallelTick times the churn-plus-attack tick loop — the
@@ -325,6 +355,11 @@ func benchGnetNTRound() Benchmark {
 // plane enabled must stay at or above 95%.
 const ntFloodDeliveryMin = 0.95
 
+// traceOverheadMax is the tracing-plane gate ceiling: the steady tick
+// loop with a sample-rate-0 tracer attached may cost at most 3% over
+// the untraced run — the nil/sampled-out checks must stay negligible.
+const traceOverheadMax = 1.03
+
 // benchNTFloodDelivery times a defended simulation whose agents offer
 // 3x every peer's processing capacity with the overload-resilience
 // plane on, and reports the run's DD-POLICE control delivery as the
@@ -382,10 +417,17 @@ func main() {
 		benchFloodBatch(true),
 		benchFloodBatch(false),
 	)
-	cached := benchSimTick("sim_tick_2k_cached", benchPeers, tickDur, false)
-	uncached := benchSimTick("sim_tick_2k_uncached", benchPeers, tickDur, true)
-	doc.Benchmarks = append(doc.Benchmarks, cached, uncached,
-		benchSimTick("sim_tick_10k_cached", 10000, tick10kDur, false),
+	// The three 2k tick variants feed two derived ratios
+	// (tick_2k_speedup, trace_overhead), so they are measured
+	// interleaved to keep machine drift out of the comparison.
+	tick2k := benchSimTickSet(benchPeers, tickDur, []tickVariant{
+		{"sim_tick_2k_cached", false, false},
+		{"sim_tick_2k_uncached", true, false},
+		{"sim_tick_2k_traced", false, true},
+	})
+	cached, uncached, traced := tick2k[0], tick2k[1], tick2k[2]
+	doc.Benchmarks = append(doc.Benchmarks, cached, uncached, traced,
+		benchSimTick("sim_tick_10k_cached", 10000, tick10kDur, false, false),
 	)
 
 	// Sharded two-phase tick rows: churn + attack, so the traversal
@@ -417,15 +459,18 @@ func main() {
 	speedup := uncached.NsPerOp / cached.NsPerOp
 	pspeedup := pser.NsPerOp / psh4.NsPerOp
 	pmin := parallelGateMin()
+	traceOverhead := traced.NsPerOp / cached.NsPerOp
 	doc.Derived["tick_2k_speedup"] = speedup
 	doc.Derived["tick_10k_parallel_speedup"] = pspeedup
 	doc.Derived["tick_10k_parallel_gate_min"] = pmin
 	doc.Derived["gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
 	doc.Derived["nt_flood_delivery"] = ntDelivery
+	doc.Derived["trace_overhead"] = traceOverhead
 	fmt.Printf("derived: tick_2k_speedup = %.2fx\n", speedup)
 	fmt.Printf("derived: tick_10k_parallel_speedup = %.2fx (gate floor %.2fx at GOMAXPROCS=%d)\n",
 		pspeedup, pmin, runtime.GOMAXPROCS(0))
 	fmt.Printf("derived: nt_flood_delivery = %.3f (gate floor %.2f)\n", ntDelivery, ntFloodDeliveryMin)
+	fmt.Printf("derived: trace_overhead = %.3fx (gate ceiling %.2fx)\n", traceOverhead, traceOverheadMax)
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -458,6 +503,9 @@ func main() {
 		if ntDelivery < ntFloodDeliveryMin {
 			fatal(fmt.Errorf("robustness gate: nt_flood_delivery %.3f < %.2f",
 				ntDelivery, ntFloodDeliveryMin))
+		}
+		if traceOverhead > traceOverheadMax {
+			fatal(fmt.Errorf("perf gate: trace_overhead %.3fx > %.2fx", traceOverhead, traceOverheadMax))
 		}
 	}
 }

@@ -21,16 +21,19 @@ import (
 	"ddpolice"
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/telemetry"
+	dtrace "ddpolice/internal/trace"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
-	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured, faults, detect, overload")
+	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured, faults, detect, overload, trace")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	svgDir := flag.String("svg", "", "also render one SVG per figure into this directory")
 	telemetryFlag := flag.Bool("telemetry", false, "run the telemetry study and print per-stage timing tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	tracePath := flag.String("trace", "", "write an execution trace to this file (go tool trace)")
+	traceOut := flag.String("trace-out", "", "capture causal traces of one policed timeline run at the chosen scale (.json = Chrome/Perfetto, else NDJSON for ddtrace)")
+	traceSmp := flag.Float64("trace-sample", 1.0, "head-sampling rate for -trace-out (0..1)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -131,6 +134,16 @@ func main() {
 	}
 	if want("overload") {
 		if err := printOverloadStudy(scale); err != nil {
+			fatal(err)
+		}
+	}
+	if want("trace") {
+		if err := printTraceStudy(scale); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := captureTrace(scale, *traceOut, *traceSmp); err != nil {
 			fatal(err)
 		}
 	}
@@ -526,6 +539,63 @@ func printOverloadStudy(scale ddpolice.Scale) error {
 			cut, p.Detections, p.Degraded)
 	}
 	return w.Flush()
+}
+
+func printTraceStudy(scale ddpolice.Scale) error {
+	pts, err := ddpolice.TraceStudy(scale)
+	if err != nil {
+		return err
+	}
+	saveCSV("trace_study.csv", func(w *os.File) error { return ddpolice.TracePointsCSV(w, pts) })
+	saveSVG("trace.svg", func(w *os.File) error { return ddpolice.TraceSVG(w, pts) })
+	section("Causal traces: detection critical path and flood fan-out vs agents")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "agents\ttraces\tspans\twarnings\tcuts\treq (s)\tindicator (s)\tcut (s)\thops/query\tmax depth")
+	for _, p := range pts {
+		stage := func(v float64) string {
+			if v < 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", v)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%.1f\t%d\n",
+			p.Agents, p.Traces, p.Spans, p.Warnings, p.Cuts,
+			stage(p.MeanRequest), stage(p.MeanIndic), stage(p.MeanCut),
+			p.HopsPerQuery, p.MaxDepth)
+	}
+	return w.Flush()
+}
+
+// captureTrace runs one policed timeline run at the chosen scale with
+// the causal tracer attached and writes the span stream by extension.
+func captureTrace(scale ddpolice.Scale, path string, sample float64) error {
+	cfg := ddpolice.DefaultConfig()
+	cfg.NumPeers = scale.NumPeers
+	cfg.DurationSec = scale.DurationSec
+	cfg.AttackStartSec = scale.AttackStartSec
+	cfg.Seed = scale.Seed
+	cfg.NumAgents = scale.TimelineAgents
+	cfg.PoliceEnabled = true
+	tr := dtrace.New(sample, 0)
+	cfg.Trace = tr
+	if _, err := ddpolice.Run(cfg); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = tr.WriteChromeTrace(f)
+	} else {
+		err = tr.WriteNDJSON(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d spans in %d traces -> %s\n", tr.Len(), tr.TraceCount(), path)
+	return nil
 }
 
 func printDetectStudy(scale ddpolice.Scale) error {

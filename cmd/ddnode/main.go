@@ -27,6 +27,7 @@ import (
 	"ddpolice/internal/metricsrv"
 	"ddpolice/internal/police"
 	"ddpolice/internal/telemetry"
+	dtrace "ddpolice/internal/trace"
 	"ddpolice/internal/workload"
 )
 
@@ -45,8 +46,10 @@ func main() {
 		stats    = flag.Duration("stats", 10*time.Second, "stats print interval")
 		query    = flag.String("query", "", "periodically search for this keyword")
 		queryIv  = flag.Duration("query-interval", 10*time.Second, "interval between -query searches")
-		metrics  = flag.String("metrics", "", "serve /metrics, /healthz and /journal on this address")
+		metrics  = flag.String("metrics", "", "serve /metrics, /healthz, /journal and /trace on this address")
 		jcap     = flag.Int("journal-cap", 4096, "event journal ring capacity")
+		traceOut = flag.String("trace-out", "", "dump causal traces here on shutdown (.json = Chrome/Perfetto, else NDJSON)")
+		traceSmp = flag.Float64("trace-sample", 1.0, "head-sampling rate for traces (0..1)")
 	)
 	flag.Parse()
 
@@ -66,6 +69,10 @@ func main() {
 	if *metrics != "" {
 		cfg.Telemetry = telemetry.New()
 		cfg.Journal = journal.New(*jcap)
+		cfg.Journal.AttachTelemetry(cfg.Telemetry)
+	}
+	if *traceOut != "" || *metrics != "" {
+		cfg.Tracer = dtrace.New(*traceSmp, 0)
 	}
 	node, err := gnet.NewNode(cfg)
 	if err != nil {
@@ -76,6 +83,7 @@ func main() {
 		srv, err := metricsrv.Serve(*metrics, metricsrv.Config{
 			Registry: cfg.Telemetry,
 			Journal:  cfg.Journal,
+			Tracer:   cfg.Tracer,
 			Health: func() map[string]any {
 				st := node.Stats()
 				return map[string]any{
@@ -120,6 +128,13 @@ func main() {
 		select {
 		case <-stop:
 			fmt.Println("shutting down")
+			if *traceOut != "" {
+				if err := dumpTrace(cfg.Tracer, *traceOut); err != nil {
+					fmt.Fprintln(os.Stderr, "ddnode: trace dump:", err)
+				} else {
+					fmt.Printf("trace: %d spans -> %s\n", cfg.Tracer.Len(), *traceOut)
+				}
+			}
 			return
 		case <-ticker.C:
 			st := node.Stats()
@@ -137,6 +152,21 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ddnode:", err)
 	os.Exit(1)
+}
+
+// dumpTrace writes the node's collected spans by output extension:
+// .json gets Chrome trace-event JSON (load in Perfetto), anything else
+// NDJSON (feed to ddtrace).
+func dumpTrace(tr *dtrace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return tr.WriteChromeTrace(f)
+	}
+	return tr.WriteNDJSON(f)
 }
 
 // runSearcher periodically issues a search and reports the outcome.

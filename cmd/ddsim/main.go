@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -17,7 +18,23 @@ import (
 	"ddpolice/internal/journal"
 	"ddpolice/internal/metricsrv"
 	"ddpolice/internal/telemetry"
+	"ddpolice/internal/trace"
 )
+
+// writeTrace dumps the tracer by output extension: .json gets Chrome
+// trace-event JSON (load in Perfetto), anything else NDJSON (feed to
+// ddtrace).
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return tr.WriteChromeTrace(f)
+	}
+	return tr.WriteNDJSON(f)
+}
 
 func main() {
 	var (
@@ -34,8 +51,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		perMin   = flag.Bool("minutes", false, "print the per-minute table")
 		events   = flag.String("events", "", "write a JSON-lines event log to this file")
-		metrics  = flag.String("metrics", "", "serve /metrics, /healthz and /journal on this address while the run executes")
+		metrics  = flag.String("metrics", "", "serve /metrics, /healthz, /journal and /trace on this address while the run executes")
 		jfile    = flag.String("journal", "", "write the detection-event journal (NDJSON) to this file")
+		traceOut = flag.String("trace-out", "", "write causal traces to this file (.json = Chrome/Perfetto, else NDJSON)")
+		traceSmp = flag.Float64("trace-sample", 1.0, "head-sampling rate for traces (0..1)")
 	)
 	flag.Parse()
 
@@ -63,11 +82,16 @@ func main() {
 	if *metrics != "" || *jfile != "" {
 		cfg.Journal = journal.New(1 << 16)
 	}
+	if *traceOut != "" || *metrics != "" {
+		cfg.Trace = trace.New(*traceSmp, 0)
+	}
 	if *metrics != "" {
 		cfg.Registry = telemetry.New()
+		cfg.Journal.AttachTelemetry(cfg.Registry)
 		srv, err := metricsrv.Serve(*metrics, metricsrv.Config{
 			Registry: cfg.Registry,
 			Journal:  cfg.Journal,
+			Tracer:   cfg.Trace,
 			Health: func() map[string]any {
 				return map[string]any{"peers": *peers, "agents": *agents, "seed": *seed}
 			},
@@ -98,6 +122,14 @@ func main() {
 		f.Close()
 		fmt.Printf("journal: %d events -> %s (%d dropped)\n",
 			cfg.Journal.Len(), *jfile, cfg.Journal.Dropped())
+	}
+	if *traceOut != "" {
+		if err := writeTrace(cfg.Trace, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans in %d traces -> %s (%d dropped)\n",
+			cfg.Trace.Len(), cfg.Trace.TraceCount(), *traceOut, cfg.Trace.Dropped())
 	}
 
 	fmt.Printf("peers=%d agents=%d police=%v duration=%s seed=%d\n",

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ddpolice"
+	"ddpolice/internal/trace"
+)
+
+// tracedRun executes a small police+attack simulation with full
+// sampling and writes the NDJSON stream to a temp file.
+func tracedRun(t *testing.T) string {
+	t.Helper()
+	cfg := ddpolice.DefaultConfig()
+	cfg.NumPeers = 600
+	cfg.DurationSec = 360
+	cfg.AttackStartSec = 60
+	cfg.ChurnEnabled = false
+	cfg.PoliceEnabled = true
+	cfg.NumAgents = 4
+	tr := trace.New(1.0, 0)
+	cfg.Trace = tr
+	if _, err := ddpolice.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteNDJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCriticalPathEndToEnd is the acceptance check: from a traced sim
+// run, ddtrace must reconstruct the full warning -> nt_request ->
+// indicator -> cut critical path of at least one detection.
+func TestCriticalPathEndToEnd(t *testing.T) {
+	path := tracedRun(t)
+	spans, err := readSpans(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := trace.Group(spans)
+
+	found := false
+	for _, tv := range views {
+		if tv.Find(trace.KindCut) == nil {
+			continue
+		}
+		cp := trace.CriticalPath(tv)
+		var kinds []string
+		for _, s := range cp {
+			kinds = append(kinds, s.Kind)
+		}
+		want := []string{trace.KindWarning, trace.KindNTRequest, trace.KindIndicator, trace.KindCut}
+		if len(kinds) != len(want) {
+			t.Fatalf("critical path = %v, want %v", kinds, want)
+		}
+		for i := range want {
+			if kinds[i] != want[i] {
+				t.Fatalf("critical path = %v, want %v", kinds, want)
+			}
+		}
+		found = true
+
+		// The same trace must render as a tree containing the chain.
+		var sb strings.Builder
+		if err := printTrees(&sb, views, tv.ID); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range want {
+			if !strings.Contains(sb.String(), k) {
+				t.Fatalf("tree missing %q:\n%s", k, sb.String())
+			}
+		}
+		break
+	}
+	if !found {
+		t.Fatal("no detection trace reached a cut in a police+attack run")
+	}
+
+	// The critical-path table lists that detection with every stage
+	// filled in.
+	var sb strings.Builder
+	if err := printCritical(&sb, views); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "warn_t") || !strings.Contains(out, "cut(s)") {
+		t.Fatalf("critical table header missing:\n%s", out)
+	}
+	if strings.Contains(out, "no detection traces") {
+		t.Fatalf("critical table empty:\n%s", out)
+	}
+}
+
+func TestSummaryAndFanOut(t *testing.T) {
+	path := tracedRun(t)
+	spans, err := readSpans(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := trace.Group(spans)
+
+	var sum strings.Builder
+	if err := printSummary(&sum, spans, views); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.String(), "spans in") || !strings.Contains(sum.String(), "detections:") {
+		t.Fatalf("summary = %q", sum.String())
+	}
+
+	var fo strings.Builder
+	if err := printFanOut(&fo, views); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fo.String(), "depth") || strings.Contains(fo.String(), "no query traces") {
+		t.Fatalf("fanout = %q", fo.String())
+	}
+}
+
+func TestPerfettoConversion(t *testing.T) {
+	path := tracedRun(t)
+	spans, err := readSpans(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "run.json")
+	var status strings.Builder
+	if err := writePerfetto(out, spans, &status); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `{"displayTimeUnit":"ms","traceEvents":[`) {
+		t.Fatalf("perfetto output prefix = %q", data[:40])
+	}
+}

@@ -40,7 +40,7 @@ func main() {
 
 	switch {
 	case *analyze != "":
-		if err := analyzeTrace(*analyze); err != nil {
+		if err := analyzeTrace(*analyze, os.Stdout); err != nil {
 			fatal(err)
 		}
 	case *out != "":
@@ -84,7 +84,13 @@ func generate(path string, peers int, rate float64, duration time.Duration, obje
 	return nil
 }
 
-func analyzeTrace(path string) error {
+// analyzeTrace reads a trace log and writes summary statistics to w.
+// A truncated or corrupt file (half-written .gz, interrupted transfer —
+// routine for the multi-hour captures §2.3 describes) is not fatal:
+// the clean prefix is analyzed and the truncation reported, so long
+// captures keep their value. Only a file with no readable records at
+// all returns an error.
+func analyzeTrace(path string, w io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -104,6 +110,7 @@ func analyzeTrace(path string) error {
 		peakPerMin uint64
 		curMinute  int64 = -1
 		curCount   uint64
+		truncErr   error
 	)
 	for {
 		rec, err := tr.Read()
@@ -111,7 +118,8 @@ func analyzeTrace(path string) error {
 			break
 		}
 		if err != nil {
-			return err
+			truncErr = err
+			break
 		}
 		count++
 		lastMS = rec.TimestampMS
@@ -129,14 +137,20 @@ func analyzeTrace(path string) error {
 	if curCount > peakPerMin {
 		peakPerMin = curCount
 	}
-	fmt.Printf("queries:        %d\n", count)
-	fmt.Printf("span:           %s\n", time.Duration(lastMS)*time.Millisecond)
-	fmt.Printf("unique issuers: %d\n", len(byIssuer))
-	fmt.Printf("unique objects: %d\n", len(byObject))
-	fmt.Printf("peak rate:      %d queries/min\n", peakPerMin)
+	if truncErr != nil {
+		if count == 0 {
+			return fmt.Errorf("no readable records: %w", truncErr)
+		}
+		fmt.Fprintf(w, "warning: trace truncated after %d records (%v); analyzing the clean prefix\n", count, truncErr)
+	}
+	fmt.Fprintf(w, "queries:        %d\n", count)
+	fmt.Fprintf(w, "span:           %s\n", time.Duration(lastMS)*time.Millisecond)
+	fmt.Fprintf(w, "unique issuers: %d\n", len(byIssuer))
+	fmt.Fprintf(w, "unique objects: %d\n", len(byObject))
+	fmt.Fprintf(w, "peak rate:      %d queries/min\n", peakPerMin)
 	if lastMS > 0 && len(byIssuer) > 0 {
 		perPeerPerMin := float64(count) / float64(len(byIssuer)) / (float64(lastMS) / 60000)
-		fmt.Printf("mean rate:      %.3f queries/min/peer\n", perPeerPerMin)
+		fmt.Fprintf(w, "mean rate:      %.3f queries/min/peer\n", perPeerPerMin)
 	}
 	// Top objects: the Zipf head.
 	type oc struct {
@@ -148,9 +162,9 @@ func analyzeTrace(path string) error {
 		tops = append(tops, oc{o, n})
 	}
 	sort.Slice(tops, func(i, j int) bool { return tops[i].n > tops[j].n })
-	fmt.Println("top objects:")
+	fmt.Fprintln(w, "top objects:")
 	for i := 0; i < 5 && i < len(tops); i++ {
-		fmt.Printf("  obj%-6d %6d queries (%.2f%%)\n",
+		fmt.Fprintf(w, "  obj%-6d %6d queries (%.2f%%)\n",
 			tops[i].obj, tops[i].n, float64(tops[i].n)/float64(count)*100)
 	}
 	counts := make([]uint64, 0, len(byObject))
@@ -158,7 +172,7 @@ func analyzeTrace(path string) error {
 		counts = append(counts, n)
 	}
 	if s, err := workload.FitZipf(counts); err == nil {
-		fmt.Printf("fitted Zipf exponent: %.2f (Gnutella traces [16]: ~0.8)\n", s)
+		fmt.Fprintf(w, "fitted Zipf exponent: %.2f (Gnutella traces [16]: ~0.8)\n", s)
 	}
 	return nil
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateAndAnalyze(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.log.gz")
+	if err := generate(path, 50, 1.0, 10*time.Minute, 500, 0.8, 7); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := analyzeTrace(path, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"queries:", "unique issuers:", "peak rate:", "top objects:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analysis missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "warning:") {
+		t.Fatalf("clean trace reported truncation:\n%s", out)
+	}
+}
+
+// TestAnalyzeTruncatedGzip: a half-written capture must yield prefix
+// statistics plus a truncation warning, not a raw decode error — long
+// captures routinely die mid-write and the prefix is still valuable.
+func TestAnalyzeTruncatedGzip(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log.gz")
+	if err := generate(full, 50, 1.0, 10*time.Minute, 500, 0.8, 7); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.log.gz")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := analyzeTrace(trunc, &sb); err != nil {
+		t.Fatalf("truncated trace not recovered: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "warning: trace truncated after") {
+		t.Fatalf("no truncation warning:\n%s", out)
+	}
+	if !strings.Contains(out, "queries:") || strings.Contains(out, "queries:        0\n") {
+		t.Fatalf("no prefix stats:\n%s", out)
+	}
+}
+
+// TestAnalyzeCorruptGzip: garbage that yields no records at all is a
+// hard error — there is no prefix worth reporting.
+func TestAnalyzeCorruptGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.log.gz")
+	if err := os.WriteFile(path, []byte("\x1f\x8b\x08\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := analyzeTrace(path, &sb); err == nil {
+		t.Fatalf("corrupt header accepted:\n%s", sb.String())
+	}
+}

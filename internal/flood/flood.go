@@ -378,7 +378,40 @@ type Engine struct {
 	// prewarmState is the sharded proposal phase's scratch and
 	// counters (see shard.go).
 	prewarmState
+
+	// tv, when non-nil, receives every first-visit event of discrete
+	// query floods (see SetTraceVisitor). One pointer check per visit
+	// when disarmed; the cached replay and the live BFS emit identical
+	// visit sequences, so traces are byte-identical across cache
+	// hits and misses.
+	tv TraceVisitFn
 }
+
+// VisitOutcome classifies one first visit of a traced flood.
+type VisitOutcome uint8
+
+// Visit outcomes.
+const (
+	// VisitForwarded: the peer processed the query and keeps flooding.
+	VisitForwarded VisitOutcome = iota
+	// VisitDropped: the copy was discarded at this saturated peer.
+	VisitDropped
+	// VisitDead: the copy's upstream path had already died; the visit
+	// exists only in the ideal counter plane's accounting.
+	VisitDead
+)
+
+// TraceVisitFn receives one first-visit event: the visited peer, its
+// BFS parent, the hop depth, and what happened to the copy. Duplicate
+// copies are not reported (the cached replay cannot re-enumerate
+// them); their counts live in QueryResult.DupMessages.
+type TraceVisitFn func(v, parent PeerID, depth int32, outcome VisitOutcome)
+
+// SetTraceVisitor arms (or, with nil, disarms) the per-visit trace
+// hook for subsequent discrete query floods. The caller owns the
+// arming window — typically around a single FloodQuery of a sampled
+// query. Batch floods are not traced.
+func (e *Engine) SetTraceVisitor(fn TraceVisitFn) { e.tv = fn }
 
 // NewEngine creates a flood engine over ov using the physical counter
 // plane (the experiments' default); use SetCounterMode to switch to the
@@ -530,10 +563,15 @@ func (e *Engine) replayQuery(tr *travTree, src PeerID, budget *Budget, dm DelayM
 		e.hop[vt.v] = vt.depth
 		e.parent[vt.v] = vt.parent
 		surviving := e.delay[vt.parent] >= 0
+		outcome := VisitForwarded
+		if !surviving {
+			outcome = VisitDead
+		}
 		if surviving && budget.arrivalCap(vt.v, vt.eid) < 1 {
 			res.CapacityDrops++
 			e.telDrops.Inc()
 			surviving = false
+			outcome = VisitDropped
 		}
 		if surviving {
 			budget.take(vt.v, vt.eid, 1)
@@ -541,6 +579,9 @@ func (e *Engine) replayQuery(tr *travTree, src PeerID, budget *Budget, dm DelayM
 			e.delay[vt.v] = e.delay[vt.parent] + dm.hopDelay(budget.Utilization(vt.v))
 		} else {
 			e.delay[vt.v] = -1
+		}
+		if e.tv != nil {
+			e.tv(vt.v, vt.parent, vt.depth, outcome)
 		}
 	}
 	return true
@@ -641,10 +682,18 @@ func (e *Engine) liveQuery(src PeerID, ttl int, budget *Budget, dm DelayModel, r
 				e.hop[v] = int32(depth)
 				e.parent[v] = u
 				surviving := e.delay[u] >= 0
+				outcome := VisitForwarded
+				if !surviving {
+					outcome = VisitDead
+				}
 				if surviving && budget.arrivalCap(v, eid) < 1 {
 					res.CapacityDrops++
 					e.telDrops.Inc()
 					surviving = false
+					outcome = VisitDropped
+				}
+				if e.tv != nil {
+					e.tv(v, u, int32(depth), outcome)
 				}
 				if surviving {
 					budget.take(v, eid, 1)

@@ -73,7 +73,7 @@ func (n *Node) BenchNTRound(suspect int32, timeout time.Duration) (int, error) {
 		return 0, errors.New("gnet: police monitor not enabled")
 	}
 	m := n.monitor
-	if err := n.runOnCtl(func() { m.startEvaluation(suspect) }); err != nil {
+	if err := n.runOnCtl(func() { m.startEvaluation(suspect, 0) }); err != nil {
 		return 0, err
 	}
 	deadline := time.Now().Add(timeout)

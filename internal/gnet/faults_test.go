@@ -170,7 +170,7 @@ func TestCloseDuringReconnectLeaksNoGoroutines(t *testing.T) {
 			protocol.AddrFromNodeID(11, 1),
 		}
 		a.monitor.prevIn[7] = 1000
-		a.monitor.startEvaluation(7)
+		a.monitor.startEvaluation(7, 0)
 	})
 	// Pending reconnect: b dies, a's supervisor starts re-dialing.
 	b.Close()

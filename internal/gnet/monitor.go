@@ -11,6 +11,7 @@ import (
 	"ddpolice/internal/police"
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/rng"
+	"ddpolice/internal/trace"
 )
 
 // monitor is the live DD-POLICE implementation: per-neighbor
@@ -53,6 +54,10 @@ type evaluation struct {
 	// deferred marks that the verdict already got its one extra
 	// half-window because every asked buddy was still silent.
 	deferred bool
+	// traceID keys this evaluation's causal spans; 0 when untraced.
+	// Snapshotted at the warning so spans landing after the window
+	// rolls still join the trace that opened them.
+	traceID uint64
 }
 
 // transient-dial retry schedule: each member exchange gets
@@ -179,17 +184,28 @@ func (m *monitor) closeMinute() {
 			Type: journal.TypeWarning, Peer: int64(id),
 			Value: in, Window: m.windows,
 		})
+		tid := uint64(0)
+		if m.n.cfg.Tracer != nil {
+			// The node id seeds the derivation on the live path (each
+			// node draws its own GUIDs the same way), so two nodes
+			// evaluating the same suspect get distinct traces.
+			tid = trace.DetectionID(uint64(uint32(m.n.cfg.NodeID)),
+				uint64(uint32(m.n.cfg.NodeID)), uint64(uint32(id)), uint64(m.windows))
+			m.n.traceSpan(tid, trace.Span{
+				Kind: trace.KindWarning, Peer: int64(id), Value: in,
+			})
+		}
 		if last, ok := m.lastNT[id]; ok && m.n.cfg.Clock.Since(last) < rateLimit {
 			continue
 		}
 		m.lastNT[id] = m.n.cfg.Clock.Now()
-		m.startEvaluation(id)
+		m.startEvaluation(id, tid)
 	}
 }
 
 // startEvaluation sends Neighbor_Traffic requests to the suspect's
 // buddy group and schedules the verdict after half a window.
-func (m *monitor) startEvaluation(suspect int32) {
+func (m *monitor) startEvaluation(suspect int32, traceID uint64) {
 	members, ok := m.lists[suspect]
 	if !ok {
 		return // no buddy-group view yet: defer (paper step 1 is a prerequisite)
@@ -199,6 +215,7 @@ func (m *monitor) startEvaluation(suspect int32) {
 		own:     police.Report{Out: m.prevOut[suspect], In: m.prevIn[suspect]},
 		sources: make(map[[4]byte]struct{}),
 		started: m.n.cfg.Clock.Now(),
+		traceID: traceID,
 	}
 	m.pending[suspect] = ev
 	nt := protocol.NeighborTraffic{
@@ -236,6 +253,9 @@ func (m *monitor) startEvaluation(suspect int32) {
 	m.n.journalEvent(journal.Event{
 		Type: journal.TypeNTRequest, Peer: int64(suspect),
 		K: asked, Window: m.windows,
+	})
+	m.n.traceSpan(ev.traceID, trace.Span{
+		Kind: trace.KindNTRequest, Peer: int64(suspect), Value: float64(asked),
 	})
 	m.armVerdict(suspect)
 }
@@ -377,6 +397,11 @@ func (m *monitor) recordReport(nt protocol.NeighborTraffic) {
 		Member: int64(protocol.PeerAddr{IP: nt.SourceIP}.NodeID()),
 		Window: m.windows,
 	})
+	m.n.traceSpan(ev.traceID, trace.Span{
+		Kind: trace.KindNTReport,
+		Peer: int64(protocol.PeerAddr{IP: nt.SourceIP}.NodeID()),
+		Dur:  m.n.cfg.Clock.Since(ev.started).Seconds(),
+	})
 }
 
 // finishEvaluation computes the indicators and cuts the suspect if
@@ -398,6 +423,9 @@ func (m *monitor) finishEvaluation(suspect int32) {
 		m.n.journalEvent(journal.Event{
 			Type: journal.TypeNTDefer, Peer: int64(suspect), Value: float64(ev.missing),
 		})
+		m.n.traceSpan(ev.traceID, trace.Span{
+			Kind: trace.KindNTDefer, Peer: int64(suspect), Value: float64(ev.missing),
+		})
 		m.armVerdict(suspect)
 		return
 	}
@@ -415,11 +443,18 @@ func (m *monitor) finishEvaluation(suspect int32) {
 		m.n.journalEvent(journal.Event{
 			Type: journal.TypeNTTimeout, Peer: int64(suspect), Value: float64(ev.missing),
 		})
+		m.n.traceSpan(ev.traceID, trace.Span{
+			Kind: trace.KindNTTimeout, Peer: int64(suspect), Value: float64(ev.missing),
+		})
 	}
 	g, s, k := police.ComputeIndicators(m.cfg.Q0, ev.own, ev.reports, ev.missing)
 	m.n.journalEvent(journal.Event{
 		Type: journal.TypeIndicator, Peer: int64(suspect),
 		G: g, S: s, K: k, Window: m.windows,
+	})
+	m.n.traceSpan(ev.traceID, trace.Span{
+		Kind: trace.KindIndicator, Peer: int64(suspect),
+		Value: max(g, s), Detail: "g_s_max", Depth: k,
 	})
 	if g <= m.cfg.CutThreshold && s <= m.cfg.CutThreshold {
 		return
@@ -435,6 +470,10 @@ func (m *monitor) finishEvaluation(suspect int32) {
 	m.n.statsMu.Unlock()
 	m.n.journalEvent(journal.Event{
 		Type: journal.TypeCut, Peer: int64(suspect), G: g, S: s, Window: m.windows,
+	})
+	m.n.traceSpan(ev.traceID, trace.Span{
+		Kind: trace.KindCut, Peer: int64(suspect), Value: max(g, s),
+		Dur: m.n.cfg.Clock.Since(ev.started).Seconds(),
 	})
 	m.n.dropPeer(pc, dropCut)
 }

@@ -113,7 +113,7 @@ func TestDuplicateReportsCountOnce(t *testing.T) {
 			protocol.AddrFromNodeID(9, 1),
 		}
 		m.prevIn[2] = 1000
-		m.startEvaluation(2)
+		m.startEvaluation(2, 0)
 	})
 
 	nt := protocol.NeighborTraffic{
@@ -179,7 +179,7 @@ func TestTelemetryConcurrentTransientDials(t *testing.T) {
 	for i := 0; i < rounds; i++ {
 		runOnLoop(t, observer, func() {
 			m.prevIn[7] = 1000
-			m.startEvaluation(7)
+			m.startEvaluation(7, 0)
 		})
 	}
 

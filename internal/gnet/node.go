@@ -12,6 +12,7 @@ package gnet
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ import (
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/rng"
 	"ddpolice/internal/telemetry"
+	"ddpolice/internal/trace"
 )
 
 // handshake strings (Gnutella 0.6 flavor).
@@ -97,6 +99,16 @@ type Config struct {
 	// one journal; events interleave by arrival. Nil disables recording
 	// at a pointer check per site.
 	Journal *journal.Journal
+	// Tracer, when non-nil, receives causal span traces: per-query
+	// hop/outcome spans keyed by the trace ID riding the Query wire
+	// extension (see protocol.Query.TraceID), per-suspect detection
+	// traces (warning_crossed → NT round → indicator → cut), and
+	// overload annotations (shed/quarantine/degraded). Several nodes
+	// may share one tracer the way they share a Journal. Head sampling
+	// is by trace-ID hash, so every node that sees a query agrees on
+	// whether it is traced. Nil disables tracing at a pointer check
+	// per site.
+	Tracer *trace.Tracer
 	// Overload, when non-nil, enables the overload-resilience plane:
 	// per-peer send queues split by class (control vs. query) with
 	// strict-priority draining and watermark shedding, a class-split
@@ -899,6 +911,28 @@ func (c dropCause) String() string {
 	default:
 		return "transport"
 	}
+}
+
+// traceSpan stamps the node identity and wall-clock seconds on s and
+// records it as a standalone span of trace id; a nil-check no-op when
+// the node has no tracer. Live nodes cannot coordinate span ordinals
+// across processes, so spans carry no parent links here — the trace ID
+// groups them and timestamps order them.
+func (n *Node) traceSpan(id uint64, s trace.Span) {
+	if n.cfg.Tracer == nil || id == 0 {
+		return
+	}
+	s.Node = int64(n.cfg.NodeID)
+	if s.T == 0 {
+		s.T = float64(time.Now().UnixNano()) / 1e9
+	}
+	n.cfg.Tracer.Record(id, s)
+}
+
+// guidTraceID derives the deterministic trace ID of a locally issued
+// query from its GUID (itself drawn from the node's seeded source).
+func guidTraceID(g protocol.GUID) uint64 {
+	return binary.LittleEndian.Uint64(g[0:8])
 }
 
 // journalEvent stamps the node identity and wall-clock seconds on e and

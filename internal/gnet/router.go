@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ddpolice/internal/protocol"
+	"ddpolice/internal/trace"
 )
 
 // runLoop owns all node state: it processes inbound messages, control
@@ -180,6 +181,10 @@ func (n *Node) handleQuery(from *peerConn, h protocol.Header, q protocol.Query) 
 		n.statsMu.Lock()
 		n.stats.QuarantineDropped++
 		n.statsMu.Unlock()
+		n.traceSpan(q.TraceID, trace.Span{
+			Kind: trace.KindShed, Peer: int64(from.id),
+			Depth: int(h.Hops) + 1, Detail: "quarantine",
+		})
 		return
 	}
 
@@ -190,6 +195,10 @@ func (n *Node) handleQuery(from *peerConn, h protocol.Header, q protocol.Query) 
 		// A capacity drop is the saturation signal itself: it feeds the
 		// degraded-mode detector alongside the overload plane's sheds.
 		n.recordShed()
+		n.traceSpan(q.TraceID, trace.Span{
+			Kind: trace.KindCongestion, Peer: int64(from.id),
+			Depth: int(h.Hops) + 1,
+		})
 		return
 	}
 	if n.ovl != nil {
@@ -198,6 +207,9 @@ func (n *Node) handleQuery(from *peerConn, h protocol.Header, q protocol.Query) 
 	n.statsMu.Lock()
 	n.stats.QueriesProcessed++
 	n.statsMu.Unlock()
+	n.traceSpan(q.TraceID, trace.Span{
+		Kind: trace.KindHop, Peer: int64(from.id), Depth: int(h.Hops) + 1,
+	})
 
 	if n.shared[q.Keywords] {
 		hit := protocol.QueryHit{HitCount: 1, QueryGUID: h.GUID}
@@ -205,6 +217,10 @@ func (n *Node) handleQuery(from *peerConn, h protocol.Header, q protocol.Query) 
 			n.statsMu.Lock()
 			n.stats.HitsSent++
 			n.statsMu.Unlock()
+			n.traceSpan(q.TraceID, trace.Span{
+				Kind: trace.KindDelivery, Peer: int64(from.id),
+				Depth: int(h.Hops) + 1,
+			})
 		}
 	}
 	if h.TTL <= 1 {
@@ -225,6 +241,25 @@ func (n *Node) handleQuery(from *peerConn, h protocol.Header, q protocol.Query) 
 			}
 		}
 	}
+}
+
+// tracedQuery builds the Query body for a locally issued search. With
+// a tracer attached and the GUID-derived trace ID head-sampled in, the
+// ID rides the wire extension (propagated by every forwarding hop) and
+// the origin records the root query_issue span; otherwise the body is
+// the legacy untraced encoding, byte for byte.
+func (n *Node) tracedQuery(guid protocol.GUID, keywords string) protocol.Query {
+	q := protocol.Query{Keywords: keywords}
+	if n.cfg.Tracer == nil {
+		return q
+	}
+	tid := guidTraceID(guid)
+	if tid == 0 || !n.cfg.Tracer.Sampled(tid) {
+		return q
+	}
+	q.TraceID = tid
+	n.traceSpan(tid, trace.Span{Kind: trace.KindQueryIssue})
+	return q
 }
 
 // tryProcessQuery draws one query-processing token: the class-split
@@ -277,7 +312,7 @@ func (n *Node) IssueQuery(keywords string) (<-chan protocol.QueryHit, error) {
 		guid := protocol.NewGUID(n.src)
 		n.rememberGUID(guid)
 		n.hits[guid] = res
-		wire := protocol.Encode(nil, guid, n.cfg.TTL, 0, protocol.Query{Keywords: keywords})
+		wire := protocol.Encode(nil, guid, n.cfg.TTL, 0, n.tracedQuery(guid, keywords))
 		sent := 0
 		for id, pc := range n.peers {
 			if pc.send(wire) {
@@ -314,7 +349,7 @@ func (n *Node) SendRawQuery(keywords string) {
 	case n.ctl <- func() {
 		guid := protocol.NewGUID(n.src)
 		n.rememberGUID(guid)
-		wire := protocol.Encode(nil, guid, n.cfg.TTL, 0, protocol.Query{Keywords: keywords})
+		wire := protocol.Encode(nil, guid, n.cfg.TTL, 0, n.tracedQuery(guid, keywords))
 		for id, pc := range n.peers {
 			if pc.send(wire) {
 				if n.monitor != nil {

@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+
+	"ddpolice/internal/telemetry"
 )
 
 // Event types recorded by the detection pipeline and fault plane.
@@ -105,6 +107,11 @@ type Journal struct {
 	next    int // oldest entry once the ring is full
 	seq     uint64
 	dropped uint64
+
+	// dropGauge, when attached, mirrors the running drop count into a
+	// telemetry gauge so a live /metrics scrape sees ring overflow as
+	// it happens (nil-safe: telemetry instruments no-op on nil).
+	dropGauge *telemetry.Gauge
 }
 
 // New returns a journal retaining the last capacity events (minimum 1).
@@ -133,7 +140,21 @@ func (j *Journal) Record(e Event) {
 			j.next = 0
 		}
 		j.dropped++
+		j.dropGauge.Set(int64(j.dropped))
 	}
+	j.mu.Unlock()
+}
+
+// AttachTelemetry exposes the ring's overflow count as the
+// "journal.dropped" gauge in reg, updated live as entries are
+// overwritten. No-op when either side is nil.
+func (j *Journal) AttachTelemetry(reg *telemetry.Registry) {
+	if j == nil || reg == nil {
+		return
+	}
+	j.mu.Lock()
+	j.dropGauge = reg.Gauge("journal.dropped")
+	j.dropGauge.Set(int64(j.dropped))
 	j.mu.Unlock()
 }
 
@@ -172,6 +193,24 @@ func (j *Journal) Events() []Event {
 		out = append(out, j.buf...)
 	}
 	return out
+}
+
+// EventsSince returns the retained events with Seq strictly greater
+// than since, oldest-first — the /journal?since= cursor read. Because
+// sequence numbers are monotonic and the ring is ordered, the suffix
+// is found by binary search over the rotated view.
+func (j *Journal) EventsSince(since uint64) []Event {
+	ev := j.Events()
+	lo, hi := 0, len(ev)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ev[mid].Seq <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return ev[lo:]
 }
 
 // Tail returns the newest n retained events oldest-first.

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"ddpolice/internal/telemetry"
 )
 
 func TestNilJournalIsInert(t *testing.T) {
@@ -38,6 +40,82 @@ func TestJournalRingOverwritesOldest(t *testing.T) {
 	tail := j.Tail(2)
 	if len(tail) != 2 || tail[0].Seq != 9 || tail[1].Seq != 10 {
 		t.Fatalf("tail = %+v", tail)
+	}
+}
+
+// TestJournalDroppedTelemetry: ring overflow must surface as the
+// "journal.dropped" gauge so a /metrics scrape sees silent data loss.
+func TestJournalDroppedTelemetry(t *testing.T) {
+	j := New(4)
+	reg := telemetry.New()
+	j.AttachTelemetry(reg)
+	gaugeVal := func() int64 {
+		for _, g := range reg.Snapshot().Gauges {
+			if g.Name == "journal.dropped" {
+				return g.Value
+			}
+		}
+		t.Fatal("journal.dropped gauge absent")
+		return 0
+	}
+	if gaugeVal() != 0 {
+		t.Fatalf("initial gauge = %d, want 0", gaugeVal())
+	}
+	for i := 0; i < 10; i++ {
+		j.Record(Event{T: float64(i), Type: TypeNTReport})
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", j.Dropped())
+	}
+	if gaugeVal() != 6 {
+		t.Fatalf("gauge = %d, want 6", gaugeVal())
+	}
+
+	// Attaching late picks up drops that happened before the registry
+	// existed.
+	j2 := New(2)
+	for i := 0; i < 5; i++ {
+		j2.Record(Event{T: float64(i), Type: TypeShed})
+	}
+	reg2 := telemetry.New()
+	j2.AttachTelemetry(reg2)
+	for _, g := range reg2.Snapshot().Gauges {
+		if g.Name == "journal.dropped" && g.Value != 3 {
+			t.Fatalf("late-attach gauge = %d, want 3", g.Value)
+		}
+	}
+
+	// Nil on either side must be a no-op.
+	var nilJ *Journal
+	nilJ.AttachTelemetry(reg)
+	j.AttachTelemetry(nil)
+	j.Record(Event{Type: TypeShed})
+}
+
+func TestEventsSince(t *testing.T) {
+	j := New(4)
+	for i := 1; i <= 10; i++ {
+		j.Record(Event{T: float64(i), Type: TypeNTReport})
+	}
+	// Ring holds seq 7..10.
+	for _, tc := range []struct {
+		since uint64
+		first uint64
+		n     int
+	}{
+		{0, 7, 4}, {6, 7, 4}, {7, 8, 3}, {9, 10, 1}, {10, 0, 0}, {99, 0, 0},
+	} {
+		got := j.EventsSince(tc.since)
+		if len(got) != tc.n {
+			t.Fatalf("since=%d len = %d, want %d", tc.since, len(got), tc.n)
+		}
+		if tc.n > 0 && got[0].Seq != tc.first {
+			t.Fatalf("since=%d first seq = %d, want %d", tc.since, got[0].Seq, tc.first)
+		}
+	}
+	var nilJ *Journal
+	if got := nilJ.EventsSince(0); len(got) != 0 {
+		t.Fatalf("nil EventsSince = %v", got)
 	}
 }
 

@@ -3,13 +3,17 @@
 //	GET /metrics  — Prometheus text exposition rendered from a
 //	                telemetry.Registry snapshot
 //	GET /healthz  — JSON liveness with uptime and journal occupancy
-//	GET /journal  — NDJSON tail of the event journal (?n= bounds it)
+//	GET /journal  — NDJSON tail of the event journal (?n= bounds it;
+//	                ?since=<seq> returns only events newer than seq,
+//	                the incremental-poll cursor)
+//	GET /trace    — NDJSON snapshot of the causal trace buffer
 //
-// Both inputs are optional: a nil registry exposes an empty metrics
-// page, a nil journal an empty tail — so ddnode and ddsim can enable
-// the plane piecemeal. The server owns only a listener and handlers;
-// rendering lives with the data types (telemetry.Snapshot,
-// journal.Journal), keeping those packages free of net/http.
+// All inputs are optional: a nil registry exposes an empty metrics
+// page, a nil journal or tracer an empty stream — so ddnode and ddsim
+// can enable the plane piecemeal. The server owns only a listener and
+// handlers; rendering lives with the data types (telemetry.Snapshot,
+// journal.Journal, trace.Tracer), keeping those packages free of
+// net/http.
 package metricsrv
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"ddpolice/internal/journal"
 	"ddpolice/internal/telemetry"
+	"ddpolice/internal/trace"
 )
 
 // Config selects what the server exposes.
@@ -32,6 +37,8 @@ type Config struct {
 	// Journal backs /journal and the healthz occupancy fields; nil
 	// serves an empty tail.
 	Journal *journal.Journal
+	// Tracer backs /trace; nil serves an empty stream.
+	Tracer *trace.Tracer
 	// Health, when non-nil, contributes extra fields to the /healthz
 	// document (merged over the defaults).
 	Health func() map[string]any
@@ -60,6 +67,7 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/journal", s.handleJournal)
+	mux.HandleFunc("/trace", s.handleTrace)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -97,20 +105,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
-	n := defaultJournalTail
-	if q := r.URL.Query().Get("n"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 0 {
-			http.Error(w, "metricsrv: bad n", http.StatusBadRequest)
+	var events []journal.Event
+	if q := r.URL.Query().Get("since"); q != "" {
+		// Cursor mode: everything newer than the given sequence number,
+		// so pollers can resume where the previous scrape left off.
+		since, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "metricsrv: bad since", http.StatusBadRequest)
 			return
 		}
-		n = v
+		events = s.cfg.Journal.EventsSince(since)
+	} else {
+		n := defaultJournalTail
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "metricsrv: bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		events = s.cfg.Journal.Tail(n)
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
-	for _, e := range s.cfg.Journal.Tail(n) {
+	for _, e := range events {
 		if err := enc.Encode(e); err != nil {
 			return
 		}
 	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if s.cfg.Tracer == nil {
+		return
+	}
+	_ = s.cfg.Tracer.WriteNDJSON(w)
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"ddpolice/internal/journal"
+	"ddpolice/internal/trace"
 	"ddpolice/internal/overlay"
 	"ddpolice/internal/rng"
 )
@@ -194,6 +195,17 @@ type Police struct {
 	// simulator's logical clock; nil disables journaling.
 	jr *journal.Journal
 
+	// tracer, when non-nil, mirrors the journal's detection lifecycle
+	// into causal span trees (see internal/trace): one trace per
+	// (observer, suspect, minute window) from warning_crossed to cut.
+	// traceSeed feeds the deterministic trace-ID derivation; nil
+	// tracer costs one pointer check per site.
+	tracer    *trace.Tracer
+	traceSeed uint64
+	curDet    *detTrace            // trace of the evaluation in flight
+	openDet   map[uint64]*detTrace // (observer,suspect) -> open trace this minute
+	openOrd   []*detTrace          // commit order (map iteration is not deterministic)
+
 	// blacklist[observer][suspect] = expiry time (BlacklistSec > 0).
 	blacklist []map[PeerID]float64
 
@@ -352,6 +364,32 @@ func (p *Police) ControlLost() uint64 { return p.lostCount }
 // and buddy members in deterministic order, so two identical-seed runs
 // journal identical event sequences. A nil journal disables recording.
 func (p *Police) SetJournal(j *journal.Journal) { p.jr = j }
+
+// detTrace is one open detection trace plus the span ordinals deeper
+// protocol stages hang their children from.
+type detTrace struct {
+	tc  *trace.Trace
+	req uint32 // nt_request span ordinal
+	ind uint32 // indicator span ordinal
+}
+
+// SetTracer attaches the causal tracing plane. seed is the run seed
+// the deterministic trace IDs derive from; a nil tracer disables
+// tracing. Like the journal, tracing is passive: it reads protocol
+// state but never mutates it, so traced and untraced runs stay
+// byte-identical.
+func (p *Police) SetTracer(tr *trace.Tracer, seed uint64) {
+	p.tracer = tr
+	p.traceSeed = seed
+	if tr != nil && p.openDet == nil {
+		p.openDet = make(map[uint64]*detTrace)
+	}
+}
+
+// detKey packs an (observer, suspect) pair for the open-trace map.
+func detKey(observer, suspect PeerID) uint64 {
+	return uint64(uint32(observer))<<32 | uint64(uint32(suspect))
+}
 
 // IsBad reports ground truth for peer v (error accounting only).
 func (p *Police) IsBad(v PeerID) bool { return p.isBad[v] }

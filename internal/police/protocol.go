@@ -5,7 +5,10 @@ package police
 // per-minute Out_query/In_query counters — lives in internal/overlay
 // and is read here via LastMinute.
 
-import "ddpolice/internal/journal"
+import (
+	"ddpolice/internal/journal"
+	"ddpolice/internal/trace"
+)
 
 // Tick runs time-driven protocol work for the second ending at now
 // (seconds). In periodic mode it fires due neighbor-list exchanges.
@@ -224,6 +227,14 @@ func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64
 		Node: int64(observer), Peer: int64(suspect),
 		K: len(members), Window: int(now) / 60,
 	})
+	dt := p.curDet
+	if dt != nil {
+		dt.req = dt.tc.Add(trace.Span{
+			Kind: trace.KindNTRequest, T: now,
+			Node: int64(observer), Peer: int64(suspect),
+			Value: float64(len(members)),
+		})
+	}
 	others := p.reportBuf[:0]
 	missing := 0
 	for _, m := range members {
@@ -234,6 +245,12 @@ func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64
 				T: now, Type: journal.TypeNTTimeout,
 				Node: int64(observer), Peer: int64(suspect), Member: int64(m),
 			})
+			if dt != nil {
+				dt.tc.Add(trace.Span{
+					Kind: trace.KindNTTimeout, Parent: dt.req, T: now,
+					Node: int64(observer), Peer: int64(m),
+				})
+			}
 			continue
 		}
 		others = append(others, Report{Out: rOut, In: rIn})
@@ -241,6 +258,12 @@ func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64
 			T: now, Type: journal.TypeNTReport,
 			Node: int64(observer), Peer: int64(suspect), Member: int64(m),
 		})
+		if dt != nil {
+			dt.tc.Add(trace.Span{
+				Kind: trace.KindNTReport, Parent: dt.req, T: now,
+				Node: int64(observer), Peer: int64(m), Value: rIn,
+			})
+		}
 	}
 	p.reportBuf = others
 	g, s, k = ComputeIndicators(p.cfg.Q0, own, others, missing)
@@ -249,6 +272,13 @@ func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64
 		Node: int64(observer), Peer: int64(suspect),
 		G: g, S: s, K: k, Window: int(now) / 60,
 	})
+	if dt != nil {
+		dt.ind = dt.tc.Add(trace.Span{
+			Kind: trace.KindIndicator, Parent: dt.req, T: now,
+			Node: int64(observer), Peer: int64(suspect),
+			Value: max(g, s), Detail: "g_s_max",
+		})
+	}
 	return g, s, k, true
 }
 
@@ -286,6 +316,21 @@ func (p *Police) EvaluateMinute(now float64) {
 				Node: int64(observer), Peer: int64(suspect),
 				Value: inbound, Window: int(now) / 60,
 			})
+			p.curDet = nil
+			if p.tracer != nil {
+				id := trace.DetectionID(p.traceSeed,
+					uint64(observer), uint64(suspect), uint64(int(now)/60))
+				if tc := p.tracer.Start(id, trace.Span{
+					Kind: trace.KindWarning, T: now,
+					Node: int64(observer), Peer: int64(suspect),
+					Value: inbound,
+				}); tc != nil {
+					dt := &detTrace{tc: tc}
+					p.curDet = dt
+					p.openDet[detKey(observer, suspect)] = dt
+					p.openOrd = append(p.openOrd, dt)
+				}
+			}
 			// Rate-limit Neighbor_Traffic rounds per (observer, suspect).
 			st := &p.states[observer]
 			if last, sent := st.lastReport[suspect]; sent && now-last < p.cfg.ReportRateLimit {
@@ -293,6 +338,7 @@ func (p *Police) EvaluateMinute(now float64) {
 			}
 			st.lastReport[suspect] = now
 			g, s, k, ok := p.Indicators(observer, suspect, now)
+			p.curDet = nil
 			if !ok {
 				continue
 			}
@@ -309,6 +355,16 @@ func (p *Police) EvaluateMinute(now float64) {
 		}
 	}
 	p.cutBuf = cuts // keep the grown capacity for the next minute
+	// Commit this minute's detection traces in creation order (cut or
+	// not — a warning with no verdict is still a complete story).
+	if len(p.openOrd) > 0 {
+		for _, dt := range p.openOrd {
+			dt.tc.End()
+		}
+		p.openOrd = p.openOrd[:0]
+		clear(p.openDet)
+	}
+	p.curDet = nil
 }
 
 // blacklisted reports whether the observer currently bans the suspect.
@@ -346,6 +402,14 @@ func (p *Police) recordCut(observer, suspect PeerID, g, s, now float64) {
 		Node: int64(observer), Peer: int64(suspect), G: g, S: s,
 		Window: int(now) / 60,
 	})
+	// Blacklist and verify-list cuts have no open warning trace; the
+	// lookup simply misses for them.
+	if dt, ok := p.openDet[detKey(observer, suspect)]; ok {
+		dt.tc.Add(trace.Span{
+			Kind: trace.KindCut, Parent: dt.ind, T: now,
+			Node: int64(observer), Peer: int64(suspect), Value: max(g, s),
+		})
+	}
 	if p.isBad[suspect] {
 		p.detected[suspect] = true
 	} else {

@@ -138,11 +138,22 @@ func decodeBye(payload []byte) (Body, error) {
 }
 
 // Query is a flooded keyword search (payload type 0x80): minimum-speed
-// field then a NUL-terminated search string.
+// field then a NUL-terminated search string, optionally followed by
+// the causal-tracing extension — 8 little-endian bytes of trace ID
+// plus the tag byte 'T' appended after the NUL. The extension is
+// emitted only when TraceID is nonzero, so untraced queries stay
+// byte-identical to the legacy encoding, and the two forms are
+// unambiguous: legacy payloads always end in NUL, extended payloads
+// always end in the tag.
 type Query struct {
 	MinSpeed uint16
 	Keywords string
+	TraceID  uint64 // causal trace ID; 0 = untraced (no wire bytes)
 }
+
+// queryTraceTag terminates the trace-ID extension; never 0, so an
+// extended payload cannot be mistaken for a legacy NUL-terminated one.
+const queryTraceTag = 'T'
 
 // Type implements Body.
 func (Query) Type() byte { return TypeQuery }
@@ -153,20 +164,39 @@ func (q Query) AppendTo(dst []byte) []byte {
 	binary.LittleEndian.PutUint16(s[:], q.MinSpeed)
 	dst = append(dst, s[:]...)
 	dst = append(dst, q.Keywords...)
-	return append(dst, 0)
+	dst = append(dst, 0)
+	if q.TraceID != 0 {
+		var tid [8]byte
+		binary.LittleEndian.PutUint64(tid[:], q.TraceID)
+		dst = append(dst, tid[:]...)
+		dst = append(dst, queryTraceTag)
+	}
+	return dst
 }
 
 func decodeQuery(payload []byte) (Body, error) {
 	if len(payload) < 3 {
 		return nil, fmt.Errorf("protocol: query payload %d bytes, want >=3", len(payload))
 	}
-	if payload[len(payload)-1] != 0 {
-		return nil, fmt.Errorf("protocol: query keywords not NUL-terminated")
+	if payload[len(payload)-1] == 0 {
+		return Query{
+			MinSpeed: binary.LittleEndian.Uint16(payload[0:2]),
+			Keywords: string(payload[2 : len(payload)-1]),
+		}, nil
 	}
-	return Query{
-		MinSpeed: binary.LittleEndian.Uint16(payload[0:2]),
-		Keywords: string(payload[2 : len(payload)-1]),
-	}, nil
+	// Trace extension: tag byte at the end, trace ID in the 8 bytes
+	// before it, keywords NUL immediately before those.
+	if len(payload) >= 12 && payload[len(payload)-1] == queryTraceTag && payload[len(payload)-10] == 0 {
+		tid := binary.LittleEndian.Uint64(payload[len(payload)-9 : len(payload)-1])
+		if tid != 0 {
+			return Query{
+				MinSpeed: binary.LittleEndian.Uint16(payload[0:2]),
+				Keywords: string(payload[2 : len(payload)-10]),
+				TraceID:  tid,
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("protocol: query keywords not NUL-terminated")
 }
 
 // QueryHit answers a Query along the reverse path (payload type 0x81).

@@ -22,6 +22,7 @@ import (
 	"ddpolice/internal/rng"
 	"ddpolice/internal/telemetry"
 	"ddpolice/internal/topology"
+	"ddpolice/internal/trace"
 	"ddpolice/internal/workload"
 )
 
@@ -148,6 +149,18 @@ type Config struct {
 	// deterministic, so identical-seed runs journal identical bytes.
 	// Nil disables journaling at a pointer check per site.
 	Journal *journal.Journal
+
+	// Trace, when non-nil, receives causal span traces (see
+	// internal/trace): one trace per sampled good-peer query (issue →
+	// per-hop flood traversal → delivery or death), one per detection
+	// evaluation (warning_crossed → NT round → indicator → cut), and a
+	// per-run overload-annotation trace (shed / degraded / brownout
+	// markers). Trace IDs derive from Seed via pure sub-seed hashing,
+	// so identical-seed runs emit byte-identical span streams, cached
+	// or uncached, at any shard count. Tracing is passive: a non-nil
+	// tracer leaves Results, Events and the journal byte-identical to
+	// a nil one. Nil costs a pointer check per site.
+	Trace *trace.Tracer
 }
 
 // DefaultSimTTL is the flood TTL used by the scaled-down experiments.
@@ -406,6 +419,19 @@ func Run(cfg Config) (*Result, error) {
 	if pol != nil {
 		pol.SetJournal(jr)
 	}
+	// Causal tracing plane. The overload-annotation trace is opened
+	// eagerly (its root doubles as a run marker) and committed after
+	// the loop; query and detection traces open and close per unit.
+	tcr := cfg.Trace
+	var ovTr *trace.Trace
+	if tcr != nil {
+		if pol != nil {
+			pol.SetTracer(tcr, cfg.Seed)
+		}
+		ovTr = tcr.Start(trace.OverloadID(cfg.Seed), trace.Span{
+			Kind: trace.KindOverload, T: 0, Value: float64(cfg.NumPeers),
+		})
+	}
 	budget := flood.NewBudget(cfg.NumPeers, cfg.GoodCapacityPerMin/60)
 	if cfg.FairShareDrop {
 		budget.EnableFairShare(ov)
@@ -514,6 +540,10 @@ func Run(cfg Config) (*Result, error) {
 						T: now, Type: journal.TypeOverload, Detail: "start",
 						Value: oe.Factor, K: len(oe.Peers),
 					})
+					ovTr.Add(trace.Span{
+						Kind: trace.KindOverload, T: now,
+						Value: oe.Factor, Detail: "brownout_start",
+					})
 				}
 				if t == oe.EndSec {
 					for _, p := range oe.Peers {
@@ -522,6 +552,10 @@ func Run(cfg Config) (*Result, error) {
 					jr.Record(journal.Event{
 						T: now, Type: journal.TypeOverload, Detail: "end",
 						Value: oe.Factor, K: len(oe.Peers),
+					})
+					ovTr.Add(trace.Span{
+						Kind: trace.KindOverload, T: now,
+						Value: oe.Factor, Detail: "brownout_end",
 					})
 				}
 			}
@@ -633,8 +667,16 @@ func Run(cfg Config) (*Result, error) {
 		// compete with attack traffic on fair terms rather than always
 		// seeing a drained (or untouched) budget.
 		t0 = stages.Start()
-		for _, q := range queryBuf {
+		for qi, q := range queryBuf {
+			var tc *trace.Trace
+			if tcr != nil {
+				tc = startQueryTrace(tcr, eng, cfg.Seed, uint64(t), uint64(qi), q, now)
+			}
 			qr := eng.FloodQuery(q.Issuer, cfg.TTL, cat.Holders(q.Object), budget, cfg.Delay)
+			if tc != nil {
+				eng.SetTraceVisitor(nil)
+				endQueryTrace(tc, now, qr)
+			}
 			coll.RecordQuery(qr)
 		}
 		stages.Stop(StageFlood, t0)
@@ -688,6 +730,10 @@ func Run(cfg Config) (*Result, error) {
 						Detail: overload.ClassQuery.String(),
 						Value:  last.CapacityDrop, Window: minute,
 					})
+					ovTr.Add(trace.Span{
+						Kind: trace.KindShed, T: now + 1,
+						Value: last.CapacityDrop, Detail: overload.ClassQuery.String(),
+					})
 				}
 				if degDet.CloseWindow(last.CapacityDrop, last.QueryMsgs) {
 					detail := "exit"
@@ -701,6 +747,10 @@ func Run(cfg Config) (*Result, error) {
 					jr.Record(journal.Event{
 						T: now + 1, Type: journal.TypeDegraded,
 						Detail: detail, Value: frac, Window: minute,
+					})
+					ovTr.Add(trace.Span{
+						Kind: trace.KindDegraded, T: now + 1,
+						Value: frac, Detail: detail,
 					})
 				}
 			}
@@ -770,6 +820,7 @@ func Run(cfg Config) (*Result, error) {
 		res.Overhead = pol.Overhead()
 		res.ControlLost = pol.ControlLost()
 	}
+	ovTr.EndAt(float64(cfg.DurationSec))
 	res.Cache = eng.CacheStats()
 	if cfg.Telemetry {
 		res.Stages = stages.Snapshot()

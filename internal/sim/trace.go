@@ -1,0 +1,69 @@
+package sim
+
+// Causal-trace plumbing for the tick loop: per-query span trees built
+// from the flood engine's visit hook. Kept out of sim.go so the hot
+// loop reads as before; everything here runs only for sampled queries.
+
+import (
+	"ddpolice/internal/flood"
+	"ddpolice/internal/trace"
+	"ddpolice/internal/workload"
+)
+
+// startQueryTrace opens the trace of one good-peer query and arms the
+// flood engine's visit hook to grow the span tree hop by hop. Returns
+// nil (and arms nothing) when the query is head-sampled out. The
+// caller must disarm the engine after the flood returns.
+func startQueryTrace(tcr *trace.Tracer, eng *flood.Engine, seed, tick, index uint64, q workload.Query, now float64) *trace.Trace {
+	id := trace.QueryID(seed, tick, index)
+	tc := tcr.Start(id, trace.Span{
+		Kind: trace.KindQueryIssue, T: now,
+		Node: int64(q.Issuer), Value: float64(q.Object),
+	})
+	if tc == nil {
+		return nil
+	}
+	// spanOf maps a visited peer to its hop span, so deeper hops hang
+	// off their BFS parent. The issuer is absent from the map; lookups
+	// of depth-1 parents return the zero value, which is the root span
+	// — exactly right.
+	spanOf := make(map[flood.PeerID]uint32)
+	eng.SetTraceVisitor(func(v, parent flood.PeerID, depth int32, out flood.VisitOutcome) {
+		kind := trace.KindHop
+		detail := ""
+		switch out {
+		case flood.VisitDropped:
+			kind = trace.KindCongestion
+		case flood.VisitDead:
+			detail = "dead_upstream"
+		}
+		spanOf[v] = tc.Add(trace.Span{
+			Kind: kind, Parent: spanOf[parent], T: now,
+			Node: int64(v), Peer: int64(parent), Depth: int(depth),
+			Detail: detail,
+		})
+	})
+	return tc
+}
+
+// endQueryTrace records the query's terminal span — delivery with the
+// first-response round trip, or death by TTL/saturation — and commits.
+func endQueryTrace(tc *trace.Trace, now float64, qr flood.QueryResult) {
+	if qr.Hit {
+		tc.Add(trace.Span{
+			Kind: trace.KindDelivery, T: now, Dur: qr.ResponseDelay,
+			Depth: qr.FirstHitHops, Value: float64(qr.HitHolders),
+		})
+	} else {
+		kind := trace.KindTTLDeath
+		detail := ""
+		if qr.CapacityDrops > 0 {
+			detail = "saturated"
+		}
+		tc.Add(trace.Span{
+			Kind: kind, T: now,
+			Value: float64(qr.CapacityDrops), Detail: detail,
+		})
+	}
+	tc.EndAt(now + qr.ResponseDelay)
+}

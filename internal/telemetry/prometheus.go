@@ -37,32 +37,34 @@ func PromName(name string) string {
 // exposition format. Counters and gauges map directly; timers render
 // as summaries in seconds (<name>_seconds_sum / <name>_seconds_count);
 // histograms render with cumulative <name>_bucket{le="..."} series
-// plus _sum and _count, in the unit the instrument was fed. Output
-// order follows the snapshot's sorted-by-name order, so identical
-// snapshots render byte-identically.
+// plus _sum and _count, in the unit the instrument was fed. Every
+// family gets a # HELP line carrying the instrument's original dotted
+// name (the registry keeps no free-text descriptions) ahead of its
+// # TYPE line. Output order follows the snapshot's sorted-by-name
+// order, so identical snapshots render byte-identically.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, c := range s.Counters {
 		n := PromName(c.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", n, c.Name, n, n, c.Value); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
 		n := PromName(g.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", n, g.Name, n, n, g.Value); err != nil {
 			return err
 		}
 	}
 	for _, t := range s.Timers {
 		n := PromName(t.Name) + "_seconds"
-		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_sum %g\n%s_count %d\n",
-			n, n, t.Total.Seconds(), n, t.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n%s_sum %g\n%s_count %d\n",
+			n, t.Name, n, n, t.Total.Seconds(), n, t.Count); err != nil {
 			return err
 		}
 	}
 	for _, h := range s.Histograms {
 		n := PromName(h.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", n, h.Name, n); err != nil {
 			return err
 		}
 		var cum uint64

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDetection assembles a realistic detection trace: warning →
+// nt_request → two reports + one timeout → indicator → cut.
+func buildDetection(tr *Tracer, seed uint64) string {
+	id := DetectionID(seed, 3, 9, 1)
+	tc := tr.Start(id, Span{Kind: KindWarning, T: 60, Node: 3, Peer: 9, Value: 720})
+	req := tc.Add(Span{Kind: KindNTRequest, T: 61, Node: 3, Peer: 9, Value: 3})
+	tc.Add(Span{Kind: KindNTReport, T: 61, Node: 3, Peer: 5, Parent: req, Dur: 0.5})
+	tc.Add(Span{Kind: KindNTReport, T: 61, Node: 3, Peer: 6, Parent: req, Dur: 1.5})
+	tc.Add(Span{Kind: KindNTTimeout, T: 91, Node: 3, Peer: 7, Parent: req})
+	ind := tc.Add(Span{Kind: KindIndicator, T: 91, Node: 3, Peer: 9, Parent: req, Value: 6.3})
+	tc.Add(Span{Kind: KindCut, T: 91, Node: 3, Peer: 9, Parent: ind, Value: 6.3})
+	tc.End()
+	return FormatID(id)
+}
+
+func TestGroupAndRoot(t *testing.T) {
+	tr := New(1.0, 0)
+	buildDetection(tr, 1)
+	tc := tr.Start(QueryID(1, 0, 0), Span{Kind: KindQueryIssue, T: 0, Node: 8})
+	tc.Add(Span{Kind: KindHop, T: 0.5, Node: 9, Depth: 1})
+	tc.End()
+
+	views := Group(tr.Spans())
+	if len(views) != 2 {
+		t.Fatalf("views = %d, want 2", len(views))
+	}
+	if views[0].Kind() != "detection" || views[1].Kind() != "query" {
+		t.Fatalf("kinds = %q, %q", views[0].Kind(), views[1].Kind())
+	}
+	if r := views[0].Root(); r == nil || r.Kind != KindWarning {
+		t.Fatalf("detection root = %+v", r)
+	}
+	if s := views[0].Find(KindCut); s == nil || s.Value != 6.3 {
+		t.Fatalf("Find(cut) = %+v", s)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	tr := New(1.0, 0)
+	buildDetection(tr, 1)
+	views := Group(tr.Spans())
+	path := CriticalPath(views[0])
+	var kinds []string
+	for _, s := range path {
+		kinds = append(kinds, s.Kind)
+	}
+	want := []string{KindWarning, KindNTRequest, KindIndicator, KindCut}
+	if len(kinds) != len(want) {
+		t.Fatalf("path = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("path = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	tr := New(1.0, 0)
+	tc := tr.Start(QueryID(1, 0, 0), Span{Kind: KindQueryIssue, T: 0})
+	for i := 0; i < 3; i++ {
+		tc.Add(Span{Kind: KindHop, T: 0.5, Depth: 1})
+	}
+	for i := 0; i < 5; i++ {
+		tc.Add(Span{Kind: KindHop, T: 1, Depth: 2})
+	}
+	tc.Add(Span{Kind: KindCongestion, T: 1, Depth: 2}) // not a hop
+	tc.Add(Span{Kind: KindHop, T: 1.5, Depth: 4})      // gap at depth 3
+	tc.End()
+	views := Group(tr.Spans())
+	got := FanOut(views[0])
+	want := []int{3, 5, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("fanout = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fanout = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDetectionPaths(t *testing.T) {
+	tr := New(1.0, 0)
+	buildDetection(tr, 1)
+	// A query trace in the same stream must be ignored.
+	qc := tr.Start(QueryID(1, 0, 0), Span{Kind: KindQueryIssue, T: 0})
+	qc.End()
+
+	paths := DetectionPaths(Group(tr.Spans()))
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	p := paths[0]
+	if p.Node != 3 || p.Suspect != 9 || p.WarnT != 60 {
+		t.Fatalf("path = %+v", p)
+	}
+	if p.RequestSec != 1 || p.FirstRepSec != 1.5 || p.IndicSec != 31 || p.CutSec != 31 {
+		t.Fatalf("stages = %+v", p)
+	}
+	if p.Reports != 2 || p.Timeouts != 1 || p.Defers != 0 {
+		t.Fatalf("counts = %+v", p)
+	}
+}
+
+func TestDetectionPathsMissingStages(t *testing.T) {
+	tr := New(1.0, 0)
+	tc := tr.Start(DetectionID(1, 2, 3, 0), Span{Kind: KindWarning, T: 10, Node: 2, Peer: 3})
+	tc.End() // warning that never progressed
+	paths := DetectionPaths(Group(tr.Spans()))
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	p := paths[0]
+	if p.RequestSec != -1 || p.FirstRepSec != -1 || p.IndicSec != -1 || p.CutSec != -1 {
+		t.Fatalf("missing stages not -1: %+v", p)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := New(1.0, 0)
+	id := buildDetection(tr, 1)
+	views := Group(tr.Spans())
+	var sb strings.Builder
+	if err := WriteTree(&sb, views[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "trace "+id) {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, want := range []string{KindWarning, KindNTRequest, KindNTReport, KindIndicator, KindCut, "└─"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// The cut is a child of the indicator: it must be indented deeper.
+	lines := strings.Split(out, "\n")
+	indent := func(kind string) int {
+		for _, l := range lines {
+			if strings.Contains(l, kind) {
+				return strings.Index(l, "─")
+			}
+		}
+		return -1
+	}
+	if indent(KindCut) <= indent(KindIndicator) {
+		t.Fatalf("cut not nested under indicator:\n%s", out)
+	}
+}
+
+// TestWriteTreeLivePath: standalone Record spans (all ordinal 0) render
+// as a flat list, not an infinite recursion.
+func TestWriteTreeLivePath(t *testing.T) {
+	tr := New(1.0, 0)
+	id := DetectionID(5, 1, 2, 0)
+	tr.Record(id, Span{Kind: KindWarning, T: 1, Node: 1, Peer: 2})
+	tr.Record(id, Span{Kind: KindCut, T: 2, Node: 1, Peer: 2})
+	views := Group(tr.Spans())
+	var sb strings.Builder
+	if err := WriteTree(&sb, views[0]); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 3 {
+		t.Fatalf("live-path tree lines = %d:\n%s", n, sb.String())
+	}
+}
