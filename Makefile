@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test race racesmoke chaos smoke bench benchsmoke benchgo telemetry
+.PHONY: ci build vet staticcheck test race racesmoke chaos smoke writefail bench benchsmoke benchgo telemetry
 
 # ci is the gate: static checks, full build, full tests, then a short
 # race pass over the packages with real concurrency (the live TCP node
@@ -12,13 +12,29 @@ GO ?= go
 # and /healthz), then a one-iteration pass over the pinned benchmark
 # suite (exercises every bench fixture; no timing gate, no BENCH.json
 # update).
-ci: vet build test race racesmoke chaos smoke benchsmoke
+ci: vet staticcheck build test race racesmoke chaos smoke writefail benchsmoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the pinned binary is on PATH and is skipped
+# (loudly) otherwise: the CI image bakes in staticcheck 2024.1, but the
+# gate must not require developers to install anything. The version is
+# pinned by checking `staticcheck -version` output, so a drive-by
+# upgrade that changes the check set fails the gate instead of silently
+# shifting it.
+STATICCHECK_VERSION ?= 2024.1
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck -version | grep -q "$(STATICCHECK_VERSION)" || { \
+			echo "staticcheck: want pinned $(STATICCHECK_VERSION), got: $$(staticcheck -version)"; exit 1; }; \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: binary not found, skipping (install $(STATICCHECK_VERSION) to enable)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -53,15 +69,23 @@ chaos:
 smoke:
 	./scripts/metrics_smoke.sh
 
+# writefail asserts every cmd tool exits nonzero when its output file
+# write fails (injected via /dev/full): a truncated artifact reported
+# as success poisons everything downstream.
+writefail:
+	./scripts/writefail_smoke.sh
+
 # bench regenerates the committed perf trajectory (BENCH.json) from the
 # pinned suite in cmd/ddbench and enforces the derived gates: the
 # traversal-cache speedup (cached vs uncached 2k-peer tick loop must
 # stay >= 1.5x), the sharded-tick speedup (serial vs 4-shard 10k
 # churn+attack loop, floor derated to GOMAXPROCS — see cmd/ddbench),
 # the nt_flood_delivery robustness floor (control delivery >= 0.95
-# under a 3x flood with the overload plane on), and the trace_overhead
-# ceiling (tick loop with a sample-rate-0 tracer <= 1.03x untraced).
-# It also writes the timestamped BENCH_PR8.json snapshot. Timings are
+# under a 3x flood with the overload plane on), the trace_overhead
+# ceiling (tick loop with a sample-rate-0 tracer <= 1.03x untraced),
+# and the tick_100k_allocs_per_peer ceiling (steady 100k-peer loop must
+# stay O(active peers) in per-tick allocations, <= 0.10 per peer).
+# It also writes the timestamped BENCH_PR9.json snapshot. Timings are
 # machine-relative: compare the derived ratios across commits, not raw
 # ns across machines.
 bench:

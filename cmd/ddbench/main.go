@@ -5,11 +5,11 @@
 //
 // Usage:
 //
-//	go run ./cmd/ddbench              # full suite -> BENCH.json (+ BENCH_PR8.json snapshot)
+//	go run ./cmd/ddbench              # full suite -> BENCH.json (+ BENCH_PR9.json snapshot)
 //	go run ./cmd/ddbench -gate        # full suite, fail if a derived speedup misses its floor
 //	go run ./cmd/ddbench -quick       # 1-iteration smoke, no gate, no snapshot
 //
-// Four derived gates: tick_2k_speedup (cached vs uncached tick loop,
+// Five derived gates: tick_2k_speedup (cached vs uncached tick loop,
 // floor -gatemin), tick_10k_parallel_speedup (serial vs 4-shard
 // two-phase tick under churn + attack, floor derated to the machine's
 // GOMAXPROCS — sharding cannot buy wall-clock time without cores),
@@ -17,7 +17,10 @@
 // offered-over-capacity flood with the overload plane on, floor 0.95 —
 // a robustness gate, not a timing one), and trace_overhead (the tick
 // loop with a sample-rate-0 tracer attached vs untraced, ceiling 1.03 —
-// the disabled tracing plane must cost under 3%).
+// the disabled tracing plane must cost under 3%), and
+// tick_100k_allocs_per_peer (mean heap allocations per peer per tick in
+// the steady 100k-peer loop, ceiling 0.10 — the dense-index scale gate:
+// per-tick work and allocation must stay O(active peers), not O(N)).
 //
 // Unlike `go test -bench`, the suite is a fixed list with fixed
 // iteration counts, so successive commits produce comparable rows: the
@@ -31,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -38,6 +42,7 @@ import (
 	"ddpolice/internal/flood"
 	"ddpolice/internal/gnet"
 	"ddpolice/internal/overlay"
+	"ddpolice/internal/outfile"
 	"ddpolice/internal/overload"
 	"ddpolice/internal/police"
 	"ddpolice/internal/rng"
@@ -52,6 +57,7 @@ type Benchmark struct {
 	Iters       int                `json:"iters"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -69,7 +75,7 @@ var (
 	out      = flag.String("out", "BENCH.json", "output file")
 	gate     = flag.Bool("gate", false, "fail when a derived speedup misses its floor (ignored with -quick)")
 	gateMin  = flag.Float64("gatemin", 1.5, "minimum accepted cached/uncached tick-loop speedup")
-	snapshot = flag.String("snapshot", "BENCH_PR8.json", "also write a timestamped snapshot of this run (empty disables; skipped with -quick)")
+	snapshot = flag.String("snapshot", "BENCH_PR9.json", "also write a timestamped snapshot of this run (empty disables; skipped with -quick)")
 )
 
 // measure times iters calls of op (after warmup warmup calls) and
@@ -95,10 +101,11 @@ func measure(name string, warmup, iters int, op func(i int)) Benchmark {
 		Iters:       iters,
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
 		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
 		Metrics:     map[string]float64{},
 	}
-	fmt.Printf("%-28s %10d iters  %14.0f ns/op  %10.1f allocs/op\n",
-		name, iters, b.NsPerOp, b.AllocsPerOp)
+	fmt.Printf("%-28s %10d iters  %14.0f ns/op  %10.1f allocs/op  %12.0f B/op\n",
+		name, iters, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
 	return b
 }
 
@@ -360,6 +367,15 @@ const ntFloodDeliveryMin = 0.95
 // the untraced run — the nil/sampled-out checks must stay negligible.
 const traceOverheadMax = 1.03
 
+// allocsPerPeerTickMax is the dense-index allocation gate ceiling for
+// the sim_tick_100k row: mean heap allocations per peer per simulated
+// tick. The dense per-peer state (index-addressed slices, pooled
+// epoch-marked buffers) keeps the steady 100k loop around 0.01
+// allocs/peer/tick; the ceiling carries ~10x headroom for machine and
+// GC jitter while still catching any change that reintroduces a
+// per-peer map or per-tick rebuild (those show up as >= 1).
+const allocsPerPeerTickMax = 0.10
+
 // benchNTFloodDelivery times a defended simulation whose agents offer
 // 3x every peer's processing capacity with the overload-resilience
 // plane on, and reports the run's DD-POLICE control delivery as the
@@ -426,8 +442,20 @@ func main() {
 		{"sim_tick_2k_traced", false, true},
 	})
 	cached, uncached, traced := tick2k[0], tick2k[1], tick2k[2]
+	tick100kDur := 120
+	if *quick {
+		tick100kDur = 60
+	}
+	// The 100k row is the dense-index scale gate: the tick loop's
+	// per-tick allocations must stay O(active peers), so the
+	// allocs-per-peer-per-tick ratio is gated, not the raw timing
+	// (which is machine-relative).
+	tick100k := benchSimTick("sim_tick_100k", 100000, tick100kDur, false, false)
+	allocsPerPeerTick := tick100k.AllocsPerOp / float64(tick100kDur) / 100000
+	tick100k.Metrics["allocs_per_peer_tick"] = allocsPerPeerTick
 	doc.Benchmarks = append(doc.Benchmarks, cached, uncached, traced,
 		benchSimTick("sim_tick_10k_cached", 10000, tick10kDur, false, false),
+		tick100k,
 	)
 
 	// Sharded two-phase tick rows: churn + attack, so the traversal
@@ -466,6 +494,9 @@ func main() {
 	doc.Derived["gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
 	doc.Derived["nt_flood_delivery"] = ntDelivery
 	doc.Derived["trace_overhead"] = traceOverhead
+	doc.Derived["tick_100k_allocs_per_peer"] = allocsPerPeerTick
+	fmt.Printf("derived: tick_100k_allocs_per_peer = %.4f (gate ceiling %.2f)\n",
+		allocsPerPeerTick, allocsPerPeerTickMax)
 	fmt.Printf("derived: tick_2k_speedup = %.2fx\n", speedup)
 	fmt.Printf("derived: tick_10k_parallel_speedup = %.2fx (gate floor %.2fx at GOMAXPROCS=%d)\n",
 		pspeedup, pmin, runtime.GOMAXPROCS(0))
@@ -476,7 +507,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+	if err := outfile.Write(*out, func(w io.Writer) error {
+		_, err := w.Write(append(buf, '\n'))
+		return err
+	}); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
@@ -486,7 +520,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*snapshot, append(buf, '\n'), 0o644); err != nil {
+		if err := outfile.Write(*snapshot, func(w io.Writer) error {
+			_, err := w.Write(append(buf, '\n'))
+			return err
+		}); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *snapshot)
@@ -506,6 +543,10 @@ func main() {
 		}
 		if traceOverhead > traceOverheadMax {
 			fatal(fmt.Errorf("perf gate: trace_overhead %.3fx > %.2fx", traceOverhead, traceOverheadMax))
+		}
+		if allocsPerPeerTick > allocsPerPeerTickMax {
+			fatal(fmt.Errorf("alloc gate: tick_100k_allocs_per_peer %.4f > %.2f",
+				allocsPerPeerTick, allocsPerPeerTickMax))
 		}
 	}
 }

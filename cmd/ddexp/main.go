@@ -14,11 +14,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
 
 	"ddpolice"
+	"ddpolice/internal/outfile"
 	"ddpolice/internal/protocol"
 	"ddpolice/internal/telemetry"
 	dtrace "ddpolice/internal/trace"
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
-	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured, faults, detect, overload, trace")
+	figFlag := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 9, 10, 11, 12, 13, 14, freq, cheat, table1, radius, liar, ablate, baseline, blacklist, structured, faults, detect, overload, trace, scale")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	svgDir := flag.String("svg", "", "also render one SVG per figure into this directory")
 	telemetryFlag := flag.Bool("telemetry", false, "run the telemetry study and print per-stage timing tables")
@@ -142,6 +144,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if want("scale") {
+		if err := printScaleStudy(scale); err != nil {
+			fatal(err)
+		}
+	}
 	if *traceOut != "" {
 		if err := captureTrace(scale, *traceOut, *traceSmp); err != nil {
 			fatal(err)
@@ -206,37 +213,21 @@ func fatal(err error) {
 var csvOut, svgOut string
 
 // saveSVG renders one figure when -svg is set.
-func saveSVG(name string, render func(w *os.File) error) {
+func saveSVG(name string, render func(w io.Writer) error) {
 	if svgOut == "" {
 		return
 	}
-	f, err := os.Create(svgOut + "/" + name)
-	if err != nil {
-		fatal(err)
-	}
-	if err := render(f); err != nil {
-		f.Close()
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := outfile.Write(svgOut+"/"+name, render); err != nil {
 		fatal(err)
 	}
 }
 
 // saveCSV writes one figure's CSV when -csv is set.
-func saveCSV(name string, render func(w *os.File) error) {
+func saveCSV(name string, render func(w io.Writer) error) {
 	if csvOut == "" {
 		return
 	}
-	f, err := os.Create(csvOut + "/" + name)
-	if err != nil {
-		fatal(err)
-	}
-	if err := render(f); err != nil {
-		f.Close()
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := outfile.Write(csvOut+"/"+name, render); err != nil {
 		fatal(err)
 	}
 }
@@ -265,9 +256,9 @@ func printFig5And6() error {
 	if err != nil {
 		return err
 	}
-	saveCSV("fig5_6_saturation.csv", func(w *os.File) error { return ddpolice.SaturationCSV(w, pts) })
-	saveSVG("fig5.svg", func(w *os.File) error { return ddpolice.Fig5SVG(w, pts) })
-	saveSVG("fig6.svg", func(w *os.File) error { return ddpolice.Fig6SVG(w, pts) })
+	saveCSV("fig5_6_saturation.csv", func(w io.Writer) error { return ddpolice.SaturationCSV(w, pts) })
+	saveSVG("fig5.svg", func(w io.Writer) error { return ddpolice.Fig5SVG(w, pts) })
+	saveSVG("fig6.svg", func(w io.Writer) error { return ddpolice.Fig6SVG(w, pts) })
 	section("Figures 5 & 6: single-peer saturation (testbed calibration)")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "offered (q/min)\tprocessed (q/min)\tdrop rate (%)")
@@ -282,10 +273,10 @@ func printFig9To11(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("fig9_10_11_sweep.csv", func(w *os.File) error { return ddpolice.SweepCSV(w, pts) })
-	saveSVG("fig9.svg", func(w *os.File) error { return ddpolice.Fig9SVG(w, pts) })
-	saveSVG("fig10.svg", func(w *os.File) error { return ddpolice.Fig10SVG(w, pts) })
-	saveSVG("fig11.svg", func(w *os.File) error { return ddpolice.Fig11SVG(w, pts) })
+	saveCSV("fig9_10_11_sweep.csv", func(w io.Writer) error { return ddpolice.SweepCSV(w, pts) })
+	saveSVG("fig9.svg", func(w io.Writer) error { return ddpolice.Fig9SVG(w, pts) })
+	saveSVG("fig10.svg", func(w io.Writer) error { return ddpolice.Fig10SVG(w, pts) })
+	saveSVG("fig11.svg", func(w io.Writer) error { return ddpolice.Fig11SVG(w, pts) })
 	section("Figure 9: average traffic cost (messages/min)")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "agents\tno attack\tDDoS, no defense\tDDoS + DD-POLICE")
@@ -318,8 +309,8 @@ func printFig12(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("fig12_damage.csv", func(w *os.File) error { return ddpolice.TimelinesCSV(w, tl) })
-	saveSVG("fig12.svg", func(w *os.File) error { return ddpolice.Fig12SVG(w, tl) })
+	saveCSV("fig12_damage.csv", func(w io.Writer) error { return ddpolice.TimelinesCSV(w, tl) })
+	saveSVG("fig12.svg", func(w io.Writer) error { return ddpolice.Fig12SVG(w, tl) })
 	section(fmt.Sprintf("Figure 12: damage rate D(t) over time (%d agents)", scale.TimelineAgents))
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	head := []string{"minute"}
@@ -346,9 +337,9 @@ func printFig13And14(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("fig13_14_ct.csv", func(w *os.File) error { return ddpolice.CTPointsCSV(w, pts) })
-	saveSVG("fig13.svg", func(w *os.File) error { return ddpolice.Fig13SVG(w, pts) })
-	saveSVG("fig14.svg", func(w *os.File) error { return ddpolice.Fig14SVG(w, pts) })
+	saveCSV("fig13_14_ct.csv", func(w io.Writer) error { return ddpolice.CTPointsCSV(w, pts) })
+	saveSVG("fig13.svg", func(w io.Writer) error { return ddpolice.Fig13SVG(w, pts) })
+	saveSVG("fig14.svg", func(w io.Writer) error { return ddpolice.Fig14SVG(w, pts) })
 	section("Figures 13 & 14: errors and damage recovery time vs cut threshold")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "CT\tfalse negative\tfalse positive\tfalse judgment\trecovery (min)\tstable damage (%)")
@@ -368,7 +359,7 @@ func printFreqStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("freq_study.csv", func(w *os.File) error { return ddpolice.FreqPointsCSV(w, pts) })
+	saveCSV("freq_study.csv", func(w io.Writer) error { return ddpolice.FreqPointsCSV(w, pts) })
 	section("§3.7.1: neighbor-list exchange frequency study")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "policy\tlist msgs\tfalse negative\tfalse positive\trecovery (min)")
@@ -384,7 +375,7 @@ func printCheatStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("cheat_study.csv", func(w *os.File) error { return ddpolice.CheatPointsCSV(w, pts) })
+	saveCSV("cheat_study.csv", func(w io.Writer) error { return ddpolice.CheatPointsCSV(w, pts) })
 	section("§3.4: Neighbor_Traffic cheating strategies")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "strategy\tdetections\tfalse negative\tfalse positive\tsuccess (%)")
@@ -421,7 +412,7 @@ func printRadiusStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("radius_study.csv", func(w *os.File) error { return ddpolice.RadiusPointsCSV(w, pts) })
+	saveCSV("radius_study.csv", func(w io.Writer) error { return ddpolice.RadiusPointsCSV(w, pts) })
 	section("DD-POLICE-r: buddy groups from r-hop list propagation")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "radius\tdetections\tFN\tFP\tlist msgs\tsuccess (%)\trecovery (min)")
@@ -438,7 +429,7 @@ func printLiarStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("liar_study.csv", func(w *os.File) error { return ddpolice.LiarPointsCSV(w, pts) })
+	saveCSV("liar_study.csv", func(w io.Writer) error { return ddpolice.LiarPointsCSV(w, pts) })
 	section("§3.1: lying about neighbor lists vs the verification check")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "variant\tdetections\tFP\tsuccess (%)\tverify msgs")
@@ -454,7 +445,7 @@ func printAblationStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("ablation_study.csv", func(w *os.File) error { return ddpolice.AblationPointsCSV(w, pts) })
+	saveCSV("ablation_study.csv", func(w io.Writer) error { return ddpolice.AblationPointsCSV(w, pts) })
 	section("Modeling-decision ablations (DESIGN.md, Calibration)")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "variant\tsuccess defended (%)\tsuccess undefended (%)\tdetections\tFN\tFP")
@@ -471,7 +462,7 @@ func printBaselineStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("baseline_study.csv", func(w *os.File) error { return ddpolice.BaselinePointsCSV(w, pts) })
+	saveCSV("baseline_study.csv", func(w io.Writer) error { return ddpolice.BaselinePointsCSV(w, pts) })
 	section("Defense comparison: DD-POLICE vs fair-share load balancing [21]")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "strategy\tsuccess (%)\tresponse (s)\tdetections\tFN")
@@ -487,7 +478,7 @@ func printBlacklistStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("blacklist_study.csv", func(w *os.File) error { return ddpolice.BlacklistPointsCSV(w, pts) })
+	saveCSV("blacklist_study.csv", func(w io.Writer) error { return ddpolice.BlacklistPointsCSV(w, pts) })
 	section("Future work (§5): blacklisting rejoining agents")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "variant\tstable damage (%)\tdetections\tsuccess (%)")
@@ -502,8 +493,8 @@ func printFaultsStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("faults_study.csv", func(w *os.File) error { return ddpolice.FaultPointsCSV(w, pts) })
-	saveSVG("faults.svg", func(w *os.File) error { return ddpolice.FaultsSVG(w, pts) })
+	saveCSV("faults_study.csv", func(w io.Writer) error { return ddpolice.FaultPointsCSV(w, pts) })
+	saveSVG("faults.svg", func(w io.Writer) error { return ddpolice.FaultsSVG(w, pts) })
 	section("Fault plane: judgment quality under control loss x churn")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "control loss\tchurn\tdetections\tFN\tFP\tfalse judgment\tsuccess (%)")
@@ -520,8 +511,8 @@ func printOverloadStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("overload_study.csv", func(w *os.File) error { return ddpolice.OverloadPointsCSV(w, pts) })
-	saveSVG("overload.svg", func(w *os.File) error { return ddpolice.OverloadSVG(w, pts) })
+	saveCSV("overload_study.csv", func(w io.Writer) error { return ddpolice.OverloadPointsCSV(w, pts) })
+	saveSVG("overload.svg", func(w io.Writer) error { return ddpolice.OverloadSVG(w, pts) })
 	section("Overload plane: control delivery and time-to-cut vs offered-over-capacity")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "factor\tplane\tcontrol delivery (%)\tquery shed (%)\ttime to cut (s)\tdetections\tdegraded")
@@ -541,13 +532,37 @@ func printOverloadStudy(scale ddpolice.Scale) error {
 	return w.Flush()
 }
 
+// printScaleStudy runs the peers-vs-tick-latency sweep. The paper
+// scale pushes to 100k peers (a couple of minutes of wall clock); the
+// quick scale stops at 25k so `-fig all` stays fast.
+func printScaleStudy(scale ddpolice.Scale) error {
+	peerCounts, durationSec := []int{2000, 10000, 25000}, 60
+	if scale.DurationSec >= 1800 {
+		peerCounts, durationSec = []int{2000, 10000, 50000, 100000}, 120
+	}
+	pts, err := ddpolice.ScaleStudy(peerCounts, durationSec, scale.Seed)
+	if err != nil {
+		return err
+	}
+	saveCSV("scale_study.csv", func(w io.Writer) error { return ddpolice.ScalePointsCSV(w, pts) })
+	saveSVG("scale.svg", func(w io.Writer) error { return ddpolice.ScaleSVG(w, pts) })
+	section("Scale: tick latency and allocation vs overlay size (steady loop)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "peers\tms/tick\tallocs/tick\tKB/tick\tpeers/sec")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%.2f\t%.0f\t%.0f\t%.0f\n",
+			p.Peers, p.NsPerTick/1e6, p.AllocsPerTick, p.BytesPerTick/1024, p.PeersPerSec)
+	}
+	return w.Flush()
+}
+
 func printTraceStudy(scale ddpolice.Scale) error {
 	pts, err := ddpolice.TraceStudy(scale)
 	if err != nil {
 		return err
 	}
-	saveCSV("trace_study.csv", func(w *os.File) error { return ddpolice.TracePointsCSV(w, pts) })
-	saveSVG("trace.svg", func(w *os.File) error { return ddpolice.TraceSVG(w, pts) })
+	saveCSV("trace_study.csv", func(w io.Writer) error { return ddpolice.TracePointsCSV(w, pts) })
+	saveSVG("trace.svg", func(w io.Writer) error { return ddpolice.TraceSVG(w, pts) })
 	section("Causal traces: detection critical path and flood fan-out vs agents")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "agents\ttraces\tspans\twarnings\tcuts\treq (s)\tindicator (s)\tcut (s)\thops/query\tmax depth")
@@ -581,16 +596,12 @@ func captureTrace(scale ddpolice.Scale, path string, sample float64) error {
 	if _, err := ddpolice.Run(cfg); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".json") {
-		err = tr.WriteChromeTrace(f)
-	} else {
-		err = tr.WriteNDJSON(f)
-	}
+	err := outfile.Write(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".json") {
+			return tr.WriteChromeTrace(w)
+		}
+		return tr.WriteNDJSON(w)
+	})
 	if err != nil {
 		return err
 	}
@@ -603,10 +614,10 @@ func printDetectStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("detect_timelines.csv", func(w *os.File) error { return ddpolice.DetectPointsCSV(w, rep.Points) })
-	saveCSV("detect_latency_cdf.csv", func(w *os.File) error { return ddpolice.DetectCDFCSV(w, rep) })
-	saveCSV("detect_overhead.csv", func(w *os.File) error { return ddpolice.DetectOverheadCSV(w, rep) })
-	saveSVG("detect_latency_cdf.svg", func(w *os.File) error { return ddpolice.DetectCDFSVG(w, rep) })
+	saveCSV("detect_timelines.csv", func(w io.Writer) error { return ddpolice.DetectPointsCSV(w, rep.Points) })
+	saveCSV("detect_latency_cdf.csv", func(w io.Writer) error { return ddpolice.DetectCDFCSV(w, rep) })
+	saveCSV("detect_overhead.csv", func(w io.Writer) error { return ddpolice.DetectOverheadCSV(w, rep) })
+	saveSVG("detect_latency_cdf.svg", func(w io.Writer) error { return ddpolice.DetectCDFSVG(w, rep) })
 	section("Detection pipeline: journal-reconstructed timelines")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "suspect\tagent\tflood start\tfirst warning\tquorum\tcut\tlatency (s)\tNT reports\tNT timeouts")
@@ -633,7 +644,7 @@ func printStructuredStudy(scale ddpolice.Scale) error {
 	if err != nil {
 		return err
 	}
-	saveCSV("structured_study.csv", func(w *os.File) error { return ddpolice.StructuredPointsCSV(w, pts) })
+	saveCSV("structured_study.csv", func(w io.Writer) error { return ddpolice.StructuredPointsCSV(w, pts) })
 	section("Future work (§5): overlay DDoS on a structured (Chord) P2P")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "agents\tunstructured success (%)\tstructured success (%)\tDHT mean hops")

@@ -25,6 +25,7 @@ import (
 	"ddpolice/internal/gnet"
 	"ddpolice/internal/journal"
 	"ddpolice/internal/metricsrv"
+	"ddpolice/internal/outfile"
 	"ddpolice/internal/police"
 	"ddpolice/internal/telemetry"
 	dtrace "ddpolice/internal/trace"
@@ -130,10 +131,12 @@ func main() {
 			fmt.Println("shutting down")
 			if *traceOut != "" {
 				if err := dumpTrace(cfg.Tracer, *traceOut); err != nil {
-					fmt.Fprintln(os.Stderr, "ddnode: trace dump:", err)
-				} else {
-					fmt.Printf("trace: %d spans -> %s\n", cfg.Tracer.Len(), *traceOut)
+					// A truncated trace reported as success poisons
+					// every later analysis step; die loudly instead.
+					node.Close()
+					fatal(fmt.Errorf("trace dump: %w", err))
 				}
+				fmt.Printf("trace: %d spans -> %s\n", cfg.Tracer.Len(), *traceOut)
 			}
 			return
 		case <-ticker.C:
@@ -158,15 +161,12 @@ func fatal(err error) {
 // .json gets Chrome trace-event JSON (load in Perfetto), anything else
 // NDJSON (feed to ddtrace).
 func dumpTrace(tr *dtrace.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".json") {
-		return tr.WriteChromeTrace(f)
-	}
-	return tr.WriteNDJSON(f)
+	return outfile.Write(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".json") {
+			return tr.WriteChromeTrace(w)
+		}
+		return tr.WriteNDJSON(w)
+	})
 }
 
 // runSearcher periodically issues a search and reports the outcome.

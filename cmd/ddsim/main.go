@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -17,6 +18,7 @@ import (
 	"ddpolice"
 	"ddpolice/internal/journal"
 	"ddpolice/internal/metricsrv"
+	"ddpolice/internal/outfile"
 	"ddpolice/internal/telemetry"
 	"ddpolice/internal/trace"
 )
@@ -25,15 +27,12 @@ import (
 // trace-event JSON (load in Perfetto), anything else NDJSON (feed to
 // ddtrace).
 func writeTrace(tr *trace.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".json") {
-		return tr.WriteChromeTrace(f)
-	}
-	return tr.WriteNDJSON(f)
+	return outfile.Write(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".json") {
+			return tr.WriteChromeTrace(w)
+		}
+		return tr.WriteNDJSON(w)
+	})
 }
 
 func main() {
@@ -70,14 +69,15 @@ func main() {
 	cfg.ChurnEnabled = *churn
 	cfg.Shards = *shards
 	cfg.Seed = *seed
+	var eventsFile *outfile.File
 	if *events != "" {
-		f, err := os.Create(*events)
+		f, err := outfile.Create(*events)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ddsim:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		cfg.Events = f
+		eventsFile = f
 	}
 	if *metrics != "" || *jfile != "" {
 		cfg.Journal = journal.New(1 << 16)
@@ -109,17 +109,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ddsim:", err)
 		os.Exit(1)
 	}
+	// The event log streamed during the run; a full disk only surfaces
+	// at flush time, and swallowing it would report a truncated log as
+	// a successful run.
+	if eventsFile != nil {
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim:", err)
+			os.Exit(1)
+		}
+	}
 	if *jfile != "" {
-		f, err := os.Create(*jfile)
-		if err != nil {
+		if err := outfile.Write(*jfile, cfg.Journal.WriteNDJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "ddsim:", err)
 			os.Exit(1)
 		}
-		if err := cfg.Journal.WriteNDJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "ddsim:", err)
-			os.Exit(1)
-		}
-		f.Close()
 		fmt.Printf("journal: %d events -> %s (%d dropped)\n",
 			cfg.Journal.Len(), *jfile, cfg.Journal.Dropped())
 	}

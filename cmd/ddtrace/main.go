@@ -28,6 +28,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"ddpolice/internal/outfile"
 	"ddpolice/internal/trace"
 )
 
@@ -184,15 +185,10 @@ func printFanOut(w io.Writer, views []trace.TraceView) error {
 }
 
 func writePerfetto(path string, spans []trace.Span, status io.Writer) error {
-	f, err := os.Create(path)
+	err := outfile.Write(path, func(w io.Writer) error {
+		return trace.WriteChromeTrace(w, spans)
+	})
 	if err != nil {
-		return err
-	}
-	if err := trace.WriteChromeTrace(f, spans); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Fprintf(status, "wrote %d events to %s (load at https://ui.perfetto.dev)\n", len(spans), path)

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"ddpolice/internal/outfile"
 	"ddpolice/internal/rng"
 	"ddpolice/internal/workload"
 )
@@ -67,17 +68,16 @@ func generate(path string, peers int, rate float64, duration time.Duration, obje
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	var n uint64
+	err = outfile.Write(path, func(w io.Writer) error {
+		tw := workload.NewTraceWriter(w, strings.HasSuffix(path, ".gz"))
+		n, err = workload.GenerateTrace(tw, cat, peers, rate, int(duration.Seconds()), src)
+		if err != nil {
+			return err
+		}
+		return tw.Close()
+	})
 	if err != nil {
-		return err
-	}
-	defer f.Close()
-	tw := workload.NewTraceWriter(f, strings.HasSuffix(path, ".gz"))
-	n, err := workload.GenerateTrace(tw, cat, peers, rate, int(duration.Seconds()), src)
-	if err != nil {
-		return err
-	}
-	if err := tw.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d queries over %s from %d peers to %s\n", n, duration, peers, path)

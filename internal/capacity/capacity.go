@@ -46,6 +46,15 @@ type Processor struct {
 // been offered. This is the brownout limit of the faults plane — a
 // peer whose capacity has been scaled to nothing still accounts for
 // the queries it sheds.
+//
+// A *positive* rate always gets a bucket depth of at least one token:
+// a sub-60/min rate used to default burst to ratePerSec < 1, so the
+// bucket could never hold a whole token and TryProcess starved the
+// peer forever despite its positive sustained rate (the paper's slow
+// 100 Kbps class must process slowly, not never). The same floor
+// applies to explicit sub-1.0 bursts — e.g. a classed processor's
+// control reserve sized as a small fraction of a modest burst — so a
+// discrete consumer drains slowly instead of rounding to zero.
 func NewProcessor(ratePerMin, burst float64) (*Processor, error) {
 	if ratePerMin < 0 {
 		ratePerMin = 0
@@ -53,6 +62,9 @@ func NewProcessor(ratePerMin, burst float64) (*Processor, error) {
 	p := &Processor{ratePerSec: ratePerMin / 60}
 	if burst <= 0 {
 		burst = p.ratePerSec
+	}
+	if p.ratePerSec > 0 && burst < 1 {
+		burst = 1
 	}
 	p.burst = burst
 	p.tokens = burst

@@ -297,3 +297,62 @@ func BenchmarkOffer(b *testing.B) {
 		p.Offer(10)
 	}
 }
+
+// A sub-60/min rate used to default its burst to ratePerSec < 1, so
+// the bucket could never hold one whole token and TryProcess starved
+// the peer forever. The floor of one token lets it drain slowly — one
+// query every ceil(60/rate) seconds — instead of never.
+func TestProcessorSubMinuteRateNotStarved(t *testing.T) {
+	p, err := NewProcessor(30, 0) // 0.5 tokens/sec
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freshly built bucket holds its (floored) burst: one token.
+	if !p.TryProcess() {
+		t.Fatal("fresh sub-minute-rate processor rejected its first query")
+	}
+	ok := 0
+	for s := 0; s < 60; s++ {
+		p.Tick(1)
+		if p.TryProcess() {
+			ok++
+		}
+	}
+	if ok != 30 {
+		t.Fatalf("0.5/s processor served %d of 60 seconds, want 30", ok)
+	}
+}
+
+// The floor also applies to explicit sub-1.0 bursts with a positive
+// rate (a classed processor's control reserve sized as a small
+// fraction of a modest burst), but never resurrects a zero-rate
+// processor.
+func TestProcessorBurstFloor(t *testing.T) {
+	p, err := NewProcessor(600, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tokens() != 1 {
+		t.Fatalf("explicit 0.2 burst with positive rate: tokens = %v, want floored 1", p.Tokens())
+	}
+	z, err := NewProcessor(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z.Tick(100)
+	if z.TryProcess() {
+		t.Fatal("zero-rate processor served a query")
+	}
+}
+
+// Rates >= 60/min keep their historical default burst of exactly one
+// second of capacity.
+func TestProcessorDefaultBurstUnchangedAtWholeRates(t *testing.T) {
+	p, err := NewProcessor(6000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tokens() != 100 {
+		t.Fatalf("default burst = %v, want 100", p.Tokens())
+	}
+}

@@ -54,6 +54,17 @@ type treeBuilder struct {
 	frontier []PeerID
 	next     []PeerID
 
+	// Capacity hints for the next tree's visit/node slices, taken from
+	// the previous build. Trees from nearby sources on the same
+	// connectivity reach nearly the same peer set, so seeding the
+	// capacity turns ~log(n) append-growth reallocations per build into
+	// one or two exact allocations — the dominant allocation source in
+	// large-overlay runs where most queries come from a source whose
+	// tree is not cached. Hints only size memory; tree contents are
+	// identical with or without them.
+	visitHint int
+	nodeHint  int
+
 	// Shard-local tallies, merged serially at commit so the hot build
 	// loop touches no shared counters.
 	builds uint64
@@ -72,7 +83,10 @@ func newTreeBuilder(n int) *treeBuilder {
 // in frontier order. It reads only the CSR snapshot and its own
 // scratch.
 func (tb *treeBuilder) build(src, entry PeerID, ttl int) *travTree {
-	tr := &travTree{}
+	tr := &travTree{
+		visits: make([]visit, 0, tb.visitHint),
+		nodes:  make([]travNode, 0, tb.nodeHint),
+	}
 	tb.epoch++
 	if tb.epoch == 0 { // wrapped: clear marks once every 2^32 builds
 		for i := range tb.seen {
@@ -116,6 +130,8 @@ func (tb *treeBuilder) build(src, entry PeerID, ttl int) *travTree {
 	}
 	tb.builds++
 	tb.visits += uint64(len(tr.visits))
+	tb.visitHint = len(tr.visits)
+	tb.nodeHint = len(tr.nodes)
 	return tr
 }
 

@@ -1,0 +1,90 @@
+// Package outfile gives the cmd tools write-error-safe output files.
+//
+// The failure mode it exists for: a tool writes its results through a
+// bare `defer f.Close()`, the disk fills (or the file hits a quota, or
+// NFS reports the error only at close), and the deferred Close silently
+// discards the error — the tool exits zero with a truncated file that
+// downstream steps treat as a complete result. Every byte a tool emits
+// must flow through a path whose Flush and Close errors are checked,
+// and a failed write must turn into a nonzero exit.
+package outfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is a buffered output file whose Close reports every deferred
+// write error: the first Write error is sticky, Flush and the
+// underlying close are both checked, and the path is included in the
+// returned error. It implements io.WriteCloser.
+type File struct {
+	path   string
+	f      *os.File
+	bw     *bufio.Writer
+	err    error
+	closed bool
+}
+
+// Create opens path for writing (truncating), buffered.
+func Create(path string) (*File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{path: path, f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// Write buffers p. After the first error every subsequent Write fails
+// fast with it, so a producer that ignores Write errors (a fmt.Fprintf
+// loop) still cannot mask the failure: Close returns it.
+func (o *File) Write(p []byte) (int, error) {
+	if o.err != nil {
+		return 0, o.err
+	}
+	n, err := o.bw.Write(p)
+	if err != nil {
+		o.err = err
+	}
+	return n, err
+}
+
+// Close flushes the buffer and closes the file, returning the first
+// error seen across Write, Flush, and the file close. It is idempotent:
+// extra calls return the same verdict without double-closing, so a
+// belt-and-braces `defer f.Close()` can coexist with the mandatory
+// checked Close on the success path.
+func (o *File) Close() error {
+	if !o.closed {
+		o.closed = true
+		if err := o.bw.Flush(); o.err == nil {
+			o.err = err
+		}
+		if err := o.f.Close(); o.err == nil {
+			o.err = err
+		}
+	}
+	if o.err != nil {
+		return fmt.Errorf("write %s: %w", o.path, o.err)
+	}
+	return nil
+}
+
+// Write streams one whole payload: it opens path, hands fn a buffered
+// writer, then flushes and closes, checking every step. This is the
+// one-shot shape most tools need — producer code keeps returning plain
+// io.Writer errors and the caller gets a single verdict that includes
+// close-time failures.
+func Write(path string, fn func(w io.Writer) error) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}

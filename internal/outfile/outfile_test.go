@@ -1,0 +1,100 @@
+package outfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestWriteSuccess(t *testing.T) {
+	path := t.TempDir() + "/out.txt"
+	err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello\n")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello\n" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// /dev/full is the canonical injected-ENOSPC device: writes succeed
+// into the buffer, the flush at close fails. A bare `defer f.Close()`
+// reports success here — that is the exact bug this package removes.
+func TestCloseReportsFullDisk(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	f, err := Create("/dev/full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(f, "doomed"); err != nil {
+		// A small write lands in the buffer; an immediate error is
+		// acceptable too — either way Close must report it.
+		t.Logf("write failed eagerly: %v", err)
+	}
+	err = f.Close()
+	if err == nil {
+		t.Fatal("Close() = nil writing to /dev/full, want ENOSPC")
+	}
+	if !strings.Contains(err.Error(), "/dev/full") {
+		t.Errorf("error %q does not name the path", err)
+	}
+	// Idempotent: the second Close returns the same verdict.
+	if err2 := f.Close(); err2 == nil {
+		t.Error("second Close() = nil, want sticky error")
+	}
+}
+
+func TestWriteReportsFullDisk(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	err := Write("/dev/full", func(w io.Writer) error {
+		// Exceed the bufio buffer so the failure hits during fn, and
+		// also exercise the flush-at-close path for the remainder.
+		chunk := strings.Repeat("x", 8192)
+		for i := 0; i < 16; i++ {
+			if _, err := io.WriteString(w, chunk); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Write to /dev/full succeeded")
+	}
+}
+
+// A producer that drops Write's error return (fmt.Fprintf with no
+// check) must still be caught by Close: the first error is sticky.
+func TestStickyWriteError(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	f, err := Create("/dev/full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(f, "%d: %s\n", i, strings.Repeat("y", 4096))
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("Close() = nil after unchecked failing writes")
+	}
+}
+
+func TestCreateError(t *testing.T) {
+	if _, err := Create(t.TempDir() + "/no/such/dir/x"); err == nil {
+		t.Fatal("Create in missing directory succeeded")
+	}
+}

@@ -35,6 +35,7 @@ type Churn struct {
 	remaining []float64 // seconds until state flip; <0 means pinned
 	pinned    []bool    // peers excluded from churn (e.g. DDoS agents)
 	crashed   []bool    // last departure of v was a crash, not a leave
+	flips     []PeerID  // peers that flipped during the last Tick, ascending
 	joins     int
 	leaves    int
 	crashes   int
@@ -92,9 +93,17 @@ func (c *Churn) Crashes() int { return c.crashes }
 // flag clears when v rejoins.
 func (c *Churn) Crashed(v PeerID) bool { return c.crashed[v] }
 
+// Flips returns the peers that changed state during the most recent
+// Tick, in ascending PeerID order — the same order a full online-state
+// diff against the pre-Tick snapshot would yield. The slice is reused
+// by the next Tick.
+func (c *Churn) Flips() []PeerID { return c.flips }
+
 // Tick advances churn by dt seconds, flipping any peers whose session
-// or offline period expired.
+// or offline period expired. The peers that flipped are retrievable in
+// ascending order via Flips until the next Tick.
 func (c *Churn) Tick(dt float64) {
+	c.flips = c.flips[:0]
 	for v := range c.remaining {
 		if c.pinned[v] {
 			continue
@@ -104,6 +113,7 @@ func (c *Churn) Tick(dt float64) {
 			continue
 		}
 		id := PeerID(v)
+		c.flips = append(c.flips, id)
 		if c.ov.Online(id) {
 			c.ov.SetOnline(id, false)
 			c.leaves++

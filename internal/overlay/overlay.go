@@ -31,6 +31,13 @@ type Overlay struct {
 	curQ     []float64
 	prevQ    []float64
 	numEdges int
+	// Dense online index: onlineIDs lists the online peers in
+	// ascending PeerID order and onlinePos[v] is v's position in it
+	// (-1 while offline). Maintained incrementally by SetOnline so
+	// OnlineCount is O(1) and AppendOnline is O(active) — the tick
+	// hot path iterates active peers without scanning all N.
+	onlineIDs []PeerID
+	onlinePos []int32
 	// version counts connectivity mutations (join/leave, cut/uncut —
 	// including partition apply/heal, which go through Cut/Uncut).
 	// Traversal caches and fair-share budgets key their validity on it;
@@ -42,10 +49,13 @@ type Overlay struct {
 // New creates an overlay over g with every peer online and no cuts.
 func New(g *topology.Graph) *Overlay {
 	n := g.NumNodes()
-	o := &Overlay{g: g, online: make([]bool, n), edgeBase: make([]EdgeID, n+1)}
+	o := &Overlay{g: g, online: make([]bool, n), edgeBase: make([]EdgeID, n+1),
+		onlineIDs: make([]PeerID, n), onlinePos: make([]int32, n)}
 	var total EdgeID
 	for v := 0; v < n; v++ {
 		o.online[v] = true
+		o.onlineIDs[v] = PeerID(v)
+		o.onlinePos[v] = int32(v)
 		o.edgeBase[v] = total
 		total += EdgeID(g.Degree(PeerID(v)))
 	}
@@ -107,15 +117,16 @@ func (o *Overlay) Version() uint64 { return o.version }
 // Online reports whether v is currently in the system.
 func (o *Overlay) Online(v PeerID) bool { return o.online[v] }
 
-// OnlineCount returns the number of online peers.
-func (o *Overlay) OnlineCount() int {
-	c := 0
-	for _, on := range o.online {
-		if on {
-			c++
-		}
-	}
-	return c
+// OnlineCount returns the number of online peers in O(1).
+func (o *Overlay) OnlineCount() int { return len(o.onlineIDs) }
+
+// AppendOnline appends the online peers in ascending PeerID order to
+// buf and returns the extended slice — the same order a full
+// O(NumPeers) scan of Online would produce, in O(online) time. buf may
+// be nil. The returned contents are a copy; they stay valid across
+// subsequent mutations.
+func (o *Overlay) AppendOnline(buf []PeerID) []PeerID {
+	return append(buf, o.onlineIDs...)
 }
 
 // SetOnline toggles peer v. Transitioning in either direction clears
@@ -129,6 +140,32 @@ func (o *Overlay) SetOnline(v PeerID, on bool) {
 	}
 	o.online[v] = on
 	o.version++
+	if on {
+		// Insert v into the sorted dense list.
+		lo, hi := 0, len(o.onlineIDs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if o.onlineIDs[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		o.onlineIDs = append(o.onlineIDs, 0)
+		copy(o.onlineIDs[lo+1:], o.onlineIDs[lo:])
+		o.onlineIDs[lo] = v
+		for i := lo; i < len(o.onlineIDs); i++ {
+			o.onlinePos[o.onlineIDs[i]] = int32(i)
+		}
+	} else {
+		pos := int(o.onlinePos[v])
+		copy(o.onlineIDs[pos:], o.onlineIDs[pos+1:])
+		o.onlineIDs = o.onlineIDs[:len(o.onlineIDs)-1]
+		o.onlinePos[v] = -1
+		for i := pos; i < len(o.onlineIDs); i++ {
+			o.onlinePos[o.onlineIDs[i]] = int32(i)
+		}
+	}
 	for k := range o.g.Neighbors(v) {
 		e := o.edgeBase[v] + EdgeID(k)
 		re := o.reverse[e]

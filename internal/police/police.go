@@ -66,6 +66,14 @@ type Config struct {
 	// for this many seconds, cutting re-established connections
 	// immediately. 0 disables the blacklist (the paper's behaviour).
 	BlacklistSec float64
+	// LegacyMapState forces the original map[PeerID]-keyed per-peer
+	// bookkeeping instead of the dense directed-edge-indexed arrays
+	// used for Radius 1. The two representations are byte-identical in
+	// every observable stream (results, events, journal, traces); the
+	// flag exists so the determinism matrix test can prove it. Radius 2
+	// always uses maps (relayed lists reach peers two hops out, beyond
+	// the directed-edge address space).
+	LegacyMapState bool
 }
 
 // DefaultConfig returns the paper's operating point: q0=100, warn=500,
@@ -184,8 +192,10 @@ type Police struct {
 
 	detections []Detection
 	overhead   Overhead
-	cutGood    map[PeerID]bool // good peers cut at least once (false negatives)
-	detected   map[PeerID]bool // bad peers detected at least once
+	cutGood    []bool // good peers cut at least once (false negatives)
+	cutGoodN   int    // count of set cutGood entries
+	detected   []bool // bad peers detected at least once
+	detectedN  int    // count of set detected entries
 
 	lossProb  float64
 	lossSrc   *rng.Source
@@ -220,10 +230,41 @@ type Police struct {
 	reportBuf []Report  // Indicators' collected Neighbor_Traffic answers
 	cutBuf    []verdict // EvaluateMinute's deferred cut decisions
 	evalBuf   []PeerID  // EvaluateMinute's per-observer suspect scan
+	obsBuf    []PeerID  // EvaluateMinute's online-observer sweep list
 	exBuf     []PeerID  // exchangeFrom's neighbor fan-out
 	sendBuf   []PeerID  // sendList's advertised members (liars append)
 	joinBuf   []PeerID  // NotifyJoin's neighbor push list
+
+	// Dense directed-edge-indexed state (Radius 1, LegacyMapState off).
+	// A stored list or rate-limit stamp always concerns a direct
+	// neighbor there, so the (receiver, owner) pair addresses the
+	// directed edge receiver->owner and the map lookups become array
+	// loads; the per-edge member slices are pooled across exchanges
+	// (storeList in map mode allocates a fresh copy per push).
+	dense   bool
+	listAt  []float64  // receipt time of the list on edge recv->owner; listNone = none
+	listMem [][]PeerID // advertised members on that edge (reused backing arrays)
+	lastNT  []float64  // last NT round on edge observer->suspect; ntNever = never
+
+	// Calendar queue for the periodic exchange schedule: exqBucket[t%B]
+	// holds the peers whose next exchange is due at integer tick t, so
+	// Tick touches O(due) peers instead of scanning all N states. Kept
+	// exactly equivalent to the float schedule in states[].nextExchange
+	// (see Tick); falls back to the linear scan — and rebuilds lazily —
+	// when Tick is called off the integer-second cadence.
+	exqBucket [][]PeerID
+	exqNext   int64 // integer tick the queue expects to serve next
+	exqReady  bool
 }
+
+// Sentinels for the dense edge-indexed state. listNone marks "no list
+// held" (any real receipt time is >= 0); ntNever marks "no NT round
+// yet" (now-ntNever dwarfs any ReportRateLimit, matching the map's
+// missing-key behaviour).
+const (
+	listNone = -1.0
+	ntNever  = -1e18
+)
 
 // verdict is one deferred disconnect decision from the minute sweep.
 type verdict struct {
@@ -245,16 +286,29 @@ func New(ov *overlay.Overlay, cfg Config) (*Police, error) {
 		cheat:    make([]CheatStrategy, n),
 		isBad:    make([]bool, n),
 		liar:     make([]bool, n),
-		cutGood:  make(map[PeerID]bool),
-		detected: make(map[PeerID]bool),
+		cutGood:  make([]bool, n),
+		detected: make([]bool, n),
+		dense:    cfg.Radius == 1 && !cfg.LegacyMapState,
 		// Non-nil from the start: membersOf's callers distinguish "no
 		// usable list" (nil) from "an empty buddy group" (empty slice).
 		memberBuf: make([]PeerID, 0, 8),
 	}
+	if p.dense {
+		ne := ov.NumDirectedEdges()
+		p.listAt = make([]float64, ne)
+		p.listMem = make([][]PeerID, ne)
+		p.lastNT = make([]float64, ne)
+		for e := 0; e < ne; e++ {
+			p.listAt[e] = listNone
+			p.lastNT[e] = ntNever
+		}
+	}
 	for i := range p.states {
-		p.states[i] = peerState{
-			lists:      make(map[PeerID]advertised),
-			lastReport: make(map[PeerID]float64),
+		if !p.dense {
+			p.states[i] = peerState{
+				lists:      make(map[PeerID]advertised),
+				lastReport: make(map[PeerID]float64),
+			}
 		}
 		if !cfg.EventDriven {
 			// Deterministic stagger: spread phases across the period.
@@ -287,11 +341,11 @@ func (p *Police) Overhead() Overhead { return p.overhead }
 
 // FalseNegatives returns the number of distinct good peers wrongly
 // disconnected (the paper's "false negative").
-func (p *Police) FalseNegatives() int { return len(p.cutGood) }
+func (p *Police) FalseNegatives() int { return p.cutGoodN }
 
 // DetectedBad returns the number of distinct bad peers disconnected at
 // least once.
-func (p *Police) DetectedBad() int { return len(p.detected) }
+func (p *Police) DetectedBad() int { return p.detectedN }
 
 // FalsePositives returns the number of bad peers among the given agent
 // set that were never identified (the paper's "false positive").

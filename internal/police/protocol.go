@@ -6,16 +6,64 @@ package police
 // and is read here via LastMinute.
 
 import (
+	"math"
+	"slices"
+
 	"ddpolice/internal/journal"
 	"ddpolice/internal/trace"
 )
 
 // Tick runs time-driven protocol work for the second ending at now
 // (seconds). In periodic mode it fires due neighbor-list exchanges.
+//
+// On the simulator's integer-second cadence the due peers come from a
+// calendar queue — O(due this tick) instead of an O(N) scan of every
+// state — and fire in ascending peer order, exactly the order the scan
+// produced: for integer t, float64(t) >= nextExchange iff
+// t >= ceil(nextExchange) (ceil of a float64 is exact), so bucketing
+// peers by ceil(nextExchange) fires each peer on precisely the tick
+// the scan would have. A call off that cadence (fractional now, or a
+// skipped second) falls back to the scan and rebuilds the queue lazily.
 func (p *Police) Tick(now float64) {
 	if p.cfg.EventDriven {
 		return
 	}
+	t := int64(now)
+	if float64(t) != now || (p.exqReady && t != p.exqNext) {
+		p.exqReady = false
+		p.tickScan(now)
+		return
+	}
+	if !p.exqReady {
+		p.buildExchangeQueue(t)
+	}
+	p.exqNext = t + 1
+	b := &p.exqBucket[t%int64(len(p.exqBucket))]
+	due := *b
+	*b = nil
+	if len(due) == 0 {
+		return
+	}
+	// Buckets receive refires from multiple earlier ticks, so restore
+	// the scan's ascending-peer order before firing.
+	slices.Sort(due)
+	for _, v := range due {
+		st := &p.states[v]
+		st.nextExchange += p.cfg.ExchangePeriod
+		if p.ov.Online(v) {
+			p.exchangeFrom(v, now)
+		}
+		p.enqueueExchange(v, t+1)
+	}
+	// Keep the drained backing array for a future bucket.
+	if cap(due) > 0 {
+		*b = due[:0]
+	}
+}
+
+// tickScan is the original O(N) exchange sweep, kept as the fallback
+// for off-cadence Tick calls (tests driving fractional time).
+func (p *Police) tickScan(now float64) {
 	for v := range p.states {
 		st := &p.states[v]
 		if now < st.nextExchange {
@@ -28,15 +76,56 @@ func (p *Police) Tick(now float64) {
 	}
 }
 
+// buildExchangeQueue (re)derives the calendar buckets from the float
+// schedule, starting service at integer tick t.
+func (p *Police) buildExchangeQueue(t int64) {
+	// A peer that just fired reschedules at most ceil(period) ticks
+	// out, and overdue peers land in the current bucket, so
+	// ceil(period)+2 buckets can never collide across rounds.
+	nb := int64(math.Ceil(p.cfg.ExchangePeriod)) + 2
+	if p.exqBucket == nil || int64(len(p.exqBucket)) != nb {
+		p.exqBucket = make([][]PeerID, nb)
+	}
+	for i := range p.exqBucket {
+		p.exqBucket[i] = p.exqBucket[i][:0]
+	}
+	for v := range p.states {
+		p.enqueueExchange(PeerID(v), t)
+	}
+	p.exqReady = true
+	p.exqNext = t
+}
+
+// enqueueExchange places v into the bucket for ceil(nextExchange),
+// clamped to floor (the earliest tick the queue will still serve): an
+// overdue peer fires once per tick until it catches up, exactly like
+// the scan.
+func (p *Police) enqueueExchange(v PeerID, floor int64) {
+	fire := int64(math.Ceil(p.states[v].nextExchange))
+	if fire < floor {
+		fire = floor
+	}
+	i := fire % int64(len(p.exqBucket))
+	p.exqBucket[i] = append(p.exqBucket[i], v)
+}
+
 // NotifyJoin must be called when peer v comes online. The joining peer
 // performs its first neighbor-list exchange immediately ("a joining
 // peer creates its BG membership after its first neighbor list
 // exchanging operation"), and in event-driven mode its neighbors push
 // updates too.
 func (p *Police) NotifyJoin(v PeerID, now float64) {
-	// Reuse the joining peer's state maps across churn cycles instead
-	// of leaving the old ones to the collector every rejoin.
-	if p.states[v].lists == nil {
+	if p.dense {
+		// Reset v's received-list and rate-limit slots: one directed
+		// edge per static neighbor, O(degree).
+		for k := range p.ov.Graph().Neighbors(v) {
+			e := p.ov.EdgeID(v, k)
+			p.listAt[e] = listNone
+			p.lastNT[e] = ntNever
+		}
+	} else if p.states[v].lists == nil {
+		// Reuse the joining peer's state maps across churn cycles
+		// instead of leaving the old ones to the collector every rejoin.
 		p.states[v].lists = make(map[PeerID]advertised)
 		p.states[v].lastReport = make(map[PeerID]float64)
 	} else {
@@ -120,6 +209,21 @@ func (p *Police) sendList(v, w PeerID, now float64) {
 
 // storeList records at receiver the advertised list of owner.
 func (p *Police) storeList(receiver, owner PeerID, members []PeerID, at float64) {
+	if p.dense {
+		// Radius 1: every push travels one hop, so owner is a direct
+		// neighbor and the (receiver, owner) pair addresses a directed
+		// edge. The per-edge backing array is reused across pushes.
+		e, ok := p.ov.FindEdge(receiver, owner)
+		if !ok {
+			return // not reachable at Radius 1; map mode never stores it either
+		}
+		if p.listAt[e] != listNone && p.listAt[e] > at {
+			return // keep the fresher list
+		}
+		p.listAt[e] = at
+		p.listMem[e] = append(p.listMem[e][:0], members...)
+		return
+	}
 	st := &p.states[receiver]
 	if prev, ok := st.lists[owner]; ok && prev.at > at {
 		return // keep the fresher list
@@ -153,15 +257,26 @@ func (p *Police) verifyList(receiver, owner PeerID, members []PeerID, now float6
 // BG1-j (excluding the observer itself), based on the advertised list
 // it holds, filtered for staleness.
 func (p *Police) membersOf(observer, suspect PeerID, now float64) []PeerID {
-	adv, ok := p.states[observer].lists[suspect]
-	if !ok {
-		return nil
+	var at float64
+	var members []PeerID
+	if p.dense {
+		e, ok := p.ov.FindEdge(observer, suspect)
+		if !ok || p.listAt[e] == listNone {
+			return nil
+		}
+		at, members = p.listAt[e], p.listMem[e]
+	} else {
+		adv, ok := p.states[observer].lists[suspect]
+		if !ok {
+			return nil
+		}
+		at, members = adv.at, adv.members
 	}
-	if p.cfg.StaleAfter > 0 && now-adv.at > p.cfg.StaleAfter {
+	if p.cfg.StaleAfter > 0 && now-at > p.cfg.StaleAfter {
 		return nil
 	}
 	out := p.memberBuf[:0]
-	for _, m := range adv.members {
+	for _, m := range members {
 		if m != observer {
 			out = append(out, m)
 		}
@@ -293,12 +408,10 @@ func (p *Police) Indicators(observer, suspect PeerID, now float64) (g, s float64
 // later observer's computation depends on.
 func (p *Police) EvaluateMinute(now float64) {
 	cuts := p.cutBuf[:0]
-	n := p.ov.NumPeers()
-	for v := 0; v < n; v++ {
-		observer := PeerID(v)
-		if !p.ov.Online(observer) {
-			continue
-		}
+	// Sweep online observers only, in ascending order — identical to
+	// the old all-peers scan with its offline skip, in O(online).
+	p.obsBuf = p.ov.AppendOnline(p.obsBuf[:0])
+	for _, observer := range p.obsBuf {
 		p.evalBuf = p.ov.ActiveNeighbors(observer, p.evalBuf[:0])
 		for _, suspect := range p.evalBuf {
 			if p.blacklisted(observer, suspect, now) {
@@ -332,11 +445,19 @@ func (p *Police) EvaluateMinute(now float64) {
 				}
 			}
 			// Rate-limit Neighbor_Traffic rounds per (observer, suspect).
-			st := &p.states[observer]
-			if last, sent := st.lastReport[suspect]; sent && now-last < p.cfg.ReportRateLimit {
-				continue
+			if p.dense {
+				e, _ := p.ov.FindEdge(observer, suspect)
+				if now-p.lastNT[e] < p.cfg.ReportRateLimit {
+					continue
+				}
+				p.lastNT[e] = now
+			} else {
+				st := &p.states[observer]
+				if last, sent := st.lastReport[suspect]; sent && now-last < p.cfg.ReportRateLimit {
+					continue
+				}
+				st.lastReport[suspect] = now
 			}
-			st.lastReport[suspect] = now
 			g, s, k, ok := p.Indicators(observer, suspect, now)
 			p.curDet = nil
 			if !ok {
@@ -411,8 +532,12 @@ func (p *Police) recordCut(observer, suspect PeerID, g, s, now float64) {
 		})
 	}
 	if p.isBad[suspect] {
-		p.detected[suspect] = true
-	} else {
+		if !p.detected[suspect] {
+			p.detected[suspect] = true
+			p.detectedN++
+		}
+	} else if !p.cutGood[suspect] {
 		p.cutGood[suspect] = true
+		p.cutGoodN++
 	}
 }

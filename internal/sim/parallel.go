@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"math"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"ddpolice/internal/metrics"
 	"ddpolice/internal/overlay"
@@ -54,14 +57,17 @@ func RunParallel(cfgs []Config) ([]*Result, error) {
 // scalar outputs by arithmetic mean: series element-wise, counters by
 // rounded mean, control-overhead message counts per class by rounded
 // mean, and the traversal-cache effectiveness counters (Result.Cache)
-// field-wise by rounded mean.
+// field-wise by rounded mean. Minutes is averaged element-wise
+// (truncated to the shortest run, which is a no-op for a fixed
+// DurationSec), Stages element-wise when every run timed the same
+// stage list (always true: StageNames is fixed), Telemetry by
+// name-union of instruments with an absent instrument contributing 0,
+// and ControlLost by rounded mean.
 //
-// First-seed-only fields — the single authoritative list: Minutes,
-// AgentIDs, Stages, and Telemetry remain the first seed's run verbatim.
-// They are full per-minute / per-stage / per-instrument structures
-// whose element-wise mean would misrepresent runs that diverge in
-// length, agent placement, or instrument set; treat them as "one
-// representative run", not a cross-seed aggregate. Everything else in
+// The single remaining first-seed field is AgentIDs: agent placement
+// is per-seed identity data, not a statistic — a cross-seed mean of
+// peer IDs is meaningless, so the merged result carries the first
+// seed's placement as "one representative run". Everything else in
 // Result is averaged. It reduces run-to-run noise for the figure
 // sweeps.
 func Averaged(cfg Config, seeds []uint64) (*Result, error) {
@@ -90,10 +96,6 @@ func mergeResults(rs []*Result) *Result {
 	out.SuccessSeries = append([]float64(nil), rs[0].SuccessSeries...)
 	out.AgentIDs = append([]overlay.PeerID(nil), rs[0].AgentIDs...)
 	out.Stages = append([]telemetry.Stage(nil), rs[0].Stages...)
-	if rs[0].Telemetry != nil {
-		snap := rs[0].Telemetry.Clone()
-		out.Telemetry = &snap
-	}
 	n := float64(len(rs))
 	for _, r := range rs[1:] {
 		out.OverallSuccess += r.OverallSuccess
@@ -106,6 +108,7 @@ func mergeResults(rs []*Result) *Result {
 		out.Detections += r.Detections
 		out.FalseNegatives += r.FalseNegatives
 		out.FalsePositives += r.FalsePositives
+		out.ControlLost += r.ControlLost
 		out.CutEdges += r.CutEdges
 		out.AttackVolume += r.AttackVolume
 		out.Overhead.NeighborListMsgs += r.Overhead.NeighborListMsgs
@@ -135,6 +138,10 @@ func mergeResults(rs []*Result) *Result {
 	out.Detections = roundDiv(out.Detections, n)
 	out.FalseNegatives = roundDiv(out.FalseNegatives, n)
 	out.FalsePositives = roundDiv(out.FalsePositives, n)
+	// ControlLost was silently first-seed-only — it never appeared in the
+	// documented list and was never accumulated, so "averaged" sweeps
+	// reported one run's control-plane losses as the mean.
+	out.ControlLost = roundDivU64(out.ControlLost, n)
 	out.CutEdges = roundDiv(out.CutEdges, n)
 	// Overhead was previously copied wholesale from the first seed, so
 	// "averaged" sweeps reported one run's control traffic as the mean;
@@ -155,7 +162,160 @@ func mergeResults(rs []*Result) *Result {
 	for i := range out.SuccessSeries {
 		out.SuccessSeries[i] /= n
 	}
+	mergeMinutes(&out, rs, n)
+	mergeStages(&out, rs, n)
+	out.Telemetry = mergeTelemetry(rs, n)
 	return &out
+}
+
+// mergeMinutes averages the per-minute series element-wise: counts by
+// rounded mean, message/drop rates by float mean. Runs of the same
+// Config always produce the same number of minutes; the truncation to
+// the shortest run is a defensive guard, not an expected path.
+func mergeMinutes(out *Result, rs []*Result, n float64) {
+	for _, r := range rs[1:] {
+		if len(r.Minutes) < len(out.Minutes) {
+			out.Minutes = out.Minutes[:len(r.Minutes)]
+		}
+	}
+	for i := range out.Minutes {
+		m := &out.Minutes[i]
+		issued, succeeded, online := float64(m.Issued), float64(m.Succeeded), float64(m.OnlinePeers)
+		for _, r := range rs[1:] {
+			rm := &r.Minutes[i]
+			issued += float64(rm.Issued)
+			succeeded += float64(rm.Succeeded)
+			online += float64(rm.OnlinePeers)
+			m.QueryMsgs += rm.QueryMsgs
+			m.HitMsgs += rm.HitMsgs
+			m.ControlMsgs += rm.ControlMsgs
+			m.CapacityDrop += rm.CapacityDrop
+		}
+		m.Issued = int(issued/n + 0.5)
+		m.Succeeded = int(succeeded/n + 0.5)
+		m.OnlinePeers = int(online/n + 0.5)
+		m.QueryMsgs /= n
+		m.HitMsgs /= n
+		m.ControlMsgs /= n
+		m.CapacityDrop /= n
+	}
+}
+
+// mergeStages averages the per-stage wall-clock timers element-wise.
+// Every telemetry-enabled run times the identical StageNames list, so
+// positions align by construction; if a run diverges (different length
+// or names — nothing produces this today) the merge keeps the first
+// seed's stages verbatim rather than average mismatched stages.
+func mergeStages(out *Result, rs []*Result, n float64) {
+	for _, r := range rs[1:] {
+		if len(r.Stages) != len(out.Stages) {
+			return
+		}
+		for i := range out.Stages {
+			if r.Stages[i].Name != out.Stages[i].Name {
+				return
+			}
+		}
+	}
+	for i := range out.Stages {
+		s := &out.Stages[i]
+		for _, r := range rs[1:] {
+			s.Total += r.Stages[i].Total
+			s.Count += r.Stages[i].Count
+		}
+		s.Total = time.Duration(math.Round(float64(s.Total) / n))
+		s.Count = roundDivU64(s.Count, n)
+	}
+}
+
+// mergeTelemetry averages instrument snapshots by name union: an
+// instrument absent from a run contributes 0 to its mean, which is the
+// honest reading (the event never fired there). Histogram buckets merge
+// by bound union the same way. The result is nil only when every run's
+// snapshot is nil; Snapshot's sorted-by-name invariant is preserved.
+func mergeTelemetry(rs []*Result, n float64) *telemetry.Snapshot {
+	any := false
+	for _, r := range rs {
+		if r.Telemetry != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	counters := map[string]uint64{}
+	gauges := map[string]int64{}
+	timers := map[string]telemetry.TimerValue{}
+	hists := map[string]*telemetry.HistogramValue{}
+	for _, r := range rs {
+		if r.Telemetry == nil {
+			continue
+		}
+		for _, c := range r.Telemetry.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range r.Telemetry.Gauges {
+			gauges[g.Name] += g.Value
+		}
+		for _, tv := range r.Telemetry.Timers {
+			acc := timers[tv.Name]
+			acc.Name = tv.Name
+			acc.Total += tv.Total
+			acc.Count += tv.Count
+			timers[tv.Name] = acc
+		}
+		for _, h := range r.Telemetry.Histograms {
+			acc := hists[h.Name]
+			if acc == nil {
+				acc = &telemetry.HistogramValue{Name: h.Name}
+				hists[h.Name] = acc
+			}
+			acc.Count += h.Count
+			acc.Sum += h.Sum
+		outer:
+			for _, b := range h.Buckets {
+				for i := range acc.Buckets {
+					if acc.Buckets[i].Le == b.Le {
+						acc.Buckets[i].Count += b.Count
+						continue outer
+					}
+				}
+				acc.Buckets = append(acc.Buckets, b)
+			}
+		}
+	}
+	snap := &telemetry.Snapshot{}
+	for name, v := range counters {
+		snap.Counters = append(snap.Counters, telemetry.CounterValue{Name: name, Value: roundDivU64(v, n)})
+	}
+	for name, v := range gauges {
+		snap.Gauges = append(snap.Gauges, telemetry.GaugeValue{Name: name, Value: int64(math.Round(float64(v) / n))})
+	}
+	for _, tv := range timers {
+		tv.Total = time.Duration(math.Round(float64(tv.Total) / n))
+		tv.Count = roundDivU64(tv.Count, n)
+		snap.Timers = append(snap.Timers, tv)
+	}
+	for _, h := range hists {
+		h.Count = roundDivU64(h.Count, n)
+		h.Sum = roundDivU64(h.Sum, n)
+		kept := h.Buckets[:0]
+		for _, b := range h.Buckets {
+			b.Count = roundDivU64(b.Count, n)
+			if b.Count > 0 {
+				kept = append(kept, b)
+			}
+		}
+		h.Buckets = kept
+		sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i].Le < h.Buckets[j].Le })
+		snap.Histograms = append(snap.Histograms, *h)
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	sort.Slice(snap.Timers, func(i, j int) bool { return snap.Timers[i].Name < snap.Timers[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
 }
 
 func roundDiv(sum int, n float64) int {

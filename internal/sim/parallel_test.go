@@ -208,3 +208,74 @@ func TestAveragedMatchesSingleRuns(t *testing.T) {
 		t.Errorf("Averaged is not repeatable: %v vs %v", avg.SuccessSeries, again.SuccessSeries)
 	}
 }
+
+// TestMergeResultsAveragesDeepFields is the regression test for the
+// remaining first-seed-only traps: ControlLost was silently never
+// accumulated (and absent from the documented list), and Minutes,
+// Stages, and Telemetry were first-seed-only by doc. All of them must
+// now be cross-seed means; only AgentIDs (per-seed identity data)
+// stays the first seed's verbatim.
+func TestMergeResultsAveragesDeepFields(t *testing.T) {
+	first := &Result{
+		ControlLost: 100,
+		Minutes: []metrics.MinuteStats{
+			{Issued: 10, Succeeded: 10, QueryMsgs: 200, OnlinePeers: 50},
+			{Issued: 20, Succeeded: 0, QueryMsgs: 100, OnlinePeers: 60},
+		},
+		Stages: []telemetry.Stage{{Name: "flood", Total: 2 * time.Second, Count: 4}},
+		Telemetry: &telemetry.Snapshot{
+			Counters: []telemetry.CounterValue{
+				{Name: "both", Value: 10},
+				{Name: "only-first", Value: 8},
+			},
+			Gauges: []telemetry.GaugeValue{{Name: "depth", Value: -4}},
+		},
+	}
+	second := &Result{
+		ControlLost: 50,
+		Minutes: []metrics.MinuteStats{
+			{Issued: 30, Succeeded: 11, QueryMsgs: 100, OnlinePeers: 50},
+			{Issued: 40, Succeeded: 1, QueryMsgs: 300, OnlinePeers: 70},
+		},
+		Stages: []telemetry.Stage{{Name: "flood", Total: 4 * time.Second, Count: 6}},
+		Telemetry: &telemetry.Snapshot{
+			Counters: []telemetry.CounterValue{{Name: "both", Value: 30}},
+			Gauges:   []telemetry.GaugeValue{{Name: "depth", Value: -7}},
+		},
+	}
+	merged := mergeResults([]*Result{first, second})
+
+	if merged.ControlLost != 75 {
+		t.Errorf("merged ControlLost = %d, want mean 75", merged.ControlLost)
+	}
+	wantMinutes := []metrics.MinuteStats{
+		{Issued: 20, Succeeded: 11, QueryMsgs: 150, OnlinePeers: 50},
+		{Issued: 30, Succeeded: 1, QueryMsgs: 200, OnlinePeers: 65},
+	}
+	// Succeeded means: (10+11)/2 = 10.5 rounds to 11, (0+1)/2 rounds to 1.
+	if !reflect.DeepEqual(merged.Minutes, wantMinutes) {
+		t.Errorf("merged Minutes = %+v, want %+v", merged.Minutes, wantMinutes)
+	}
+	wantStages := []telemetry.Stage{{Name: "flood", Total: 3 * time.Second, Count: 5}}
+	if !reflect.DeepEqual(merged.Stages, wantStages) {
+		t.Errorf("merged Stages = %+v, want %+v", merged.Stages, wantStages)
+	}
+	wantCounters := []telemetry.CounterValue{
+		{Name: "both", Value: 20},
+		{Name: "only-first", Value: 4}, // absent in seed 2 contributes 0
+	}
+	if !reflect.DeepEqual(merged.Telemetry.Counters, wantCounters) {
+		t.Errorf("merged counters = %+v, want %+v", merged.Telemetry.Counters, wantCounters)
+	}
+	wantGauges := []telemetry.GaugeValue{{Name: "depth", Value: -6}} // mean -5.5 rounds away from the trap of truncation toward zero
+	if !reflect.DeepEqual(merged.Telemetry.Gauges, wantGauges) {
+		t.Errorf("merged gauges = %+v, want %+v", merged.Telemetry.Gauges, wantGauges)
+	}
+	if first.ControlLost != 100 || first.Minutes[0].Issued != 10 ||
+		first.Stages[0].Count != 4 || first.Telemetry.Counters[0].Value != 10 {
+		t.Error("merge mutated the first input")
+	}
+	if second.Minutes[1].Issued != 40 || second.Telemetry.Counters[0].Value != 30 {
+		t.Error("merge mutated the second input")
+	}
+}

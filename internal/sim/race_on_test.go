@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceDetectorOn lets heavyweight matrix tests trim their largest legs
+// under `go test -race` (make racesmoke), where every run costs 5-10x.
+const raceDetectorOn = true

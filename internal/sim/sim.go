@@ -464,9 +464,9 @@ func Run(cfg Config) (*Result, error) {
 		parts = make([]partitionState, len(cfg.Faults.Partitions))
 		for i, pe := range cfg.Faults.Partitions {
 			parts[i].ev = pe
-			parts[i].members = make(map[overlay.PeerID]struct{}, len(pe.Peers))
+			parts[i].members = make([]bool, cfg.NumPeers)
 			for _, p := range pe.Peers {
-				parts[i].members[overlay.PeerID(p)] = struct{}{}
+				parts[i].members[p] = true
 			}
 		}
 	}
@@ -482,16 +482,10 @@ func Run(cfg Config) (*Result, error) {
 		onlineInit bool
 		queryBuf   []workload.Query
 		keyBuf     []flood.TreeKey
-		prevOnline []bool
+		tracePool  *queryTracePool
 		overheadAt uint64
 		res        Result
 	)
-	if cfg.ChurnEnabled && cfg.PoliceEnabled {
-		prevOnline = make([]bool, cfg.NumPeers)
-		for v := range prevOnline {
-			prevOnline[v] = ov.Online(overlay.PeerID(v))
-		}
-	}
 	if cfg.PoliceEnabled {
 		// Initial neighbor-list exchange: the network is already
 		// running at t=0, so every peer has performed at least one
@@ -569,19 +563,17 @@ func Run(cfg Config) (*Result, error) {
 			t0 := stages.Start()
 			churn.Tick(1)
 			if pol != nil {
-				for v := range prevOnline {
-					on := ov.Online(overlay.PeerID(v))
-					if on == prevOnline[v] {
-						continue
-					}
-					prevOnline[v] = on
-					if on {
-						pol.NotifyJoin(overlay.PeerID(v), now)
-					} else if churn.Crashed(overlay.PeerID(v)) {
+				// Churn reports its flips in ascending order — the same
+				// order the old full prevOnline diff scanned in — so the
+				// notification stream is byte-identical in O(flips).
+				for _, id := range churn.Flips() {
+					if ov.Online(id) {
+						pol.NotifyJoin(id, now)
+					} else if churn.Crashed(id) {
 						crashCtr.Inc()
-						jr.Record(journal.Event{T: now, Type: journal.TypeCrash, Peer: int64(v)})
+						jr.Record(journal.Event{T: now, Type: journal.TypeCrash, Peer: int64(id)})
 					} else {
-						pol.NotifyLeave(overlay.PeerID(v), now)
+						pol.NotifyLeave(id, now)
 					}
 				}
 			}
@@ -594,9 +586,6 @@ func Run(cfg Config) (*Result, error) {
 				ov.SetOnline(a.ID, true)
 				if pol != nil {
 					pol.NotifyJoin(a.ID, now)
-				}
-				if prevOnline != nil {
-					prevOnline[a.ID] = true
 				}
 			}
 			events.attackStart(now, fleet.IDs())
@@ -621,16 +610,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		t0 := stages.Start()
 		// The online list only changes when overlay connectivity does;
-		// rescan keyed on the mutation counter instead of every tick.
+		// recopy from the overlay's dense index (O(online), ascending
+		// order) keyed on the mutation counter instead of every tick.
 		if !onlineInit || onlineVer != ov.Version() {
 			onlineInit = true
 			onlineVer = ov.Version()
-			onlineBuf = onlineBuf[:0]
-			for v := 0; v < cfg.NumPeers; v++ {
-				if ov.Online(overlay.PeerID(v)) {
-					onlineBuf = append(onlineBuf, overlay.PeerID(v))
-				}
-			}
+			onlineBuf = ov.AppendOnline(onlineBuf[:0])
 		}
 		queryBuf = qgen.Tick(onlineBuf, 1, queryBuf[:0])
 		stages.Stop(StageQueryGen, t0)
@@ -670,7 +655,10 @@ func Run(cfg Config) (*Result, error) {
 		for qi, q := range queryBuf {
 			var tc *trace.Trace
 			if tcr != nil {
-				tc = startQueryTrace(tcr, eng, cfg.Seed, uint64(t), uint64(qi), q, now)
+				if tracePool == nil {
+					tracePool = newQueryTracePool(cfg.NumPeers)
+				}
+				tc = startQueryTrace(tcr, eng, tracePool, cfg.Seed, uint64(t), uint64(qi), q, now)
 			}
 			qr := eng.FloodQuery(q.Issuer, cfg.TTL, cat.Holders(q.Object), budget, cfg.Delay)
 			if tc != nil {
@@ -849,7 +837,7 @@ func Run(cfg Config) (*Result, error) {
 // member-internal edges, which a network partition leaves working.
 type partitionState struct {
 	ev       faults.PartitionEvent
-	members  map[overlay.PeerID]struct{}
+	members  []bool // dense membership, indexed by PeerID
 	cutEdges [][2]overlay.PeerID
 	applied  bool
 	healed   bool
@@ -860,15 +848,14 @@ func (p *partitionState) apply(ov *overlay.Overlay, ctr *telemetry.Counter) int 
 		return 0
 	}
 	p.applied = true
-	// Iterate the event's peer slice, not the member-set map: map order
-	// varies between runs, and cutEdges order feeds deterministic
-	// outputs (the event journal must be byte-identical across
-	// identical-seed runs).
+	// Iterate the event's peer slice in its given order: cutEdges order
+	// feeds deterministic outputs (the event journal must be
+	// byte-identical across identical-seed runs).
 	cut := 0
 	for _, pid := range p.ev.Peers {
 		m := overlay.PeerID(pid)
 		for _, w := range ov.Graph().Neighbors(m) {
-			if _, in := p.members[w]; in {
+			if p.members[w] {
 				continue
 			}
 			if ov.IsCut(m, w) {

@@ -10,11 +10,44 @@ import (
 	"ddpolice/internal/workload"
 )
 
+// queryTracePool holds the reusable per-peer span index shared by all
+// traced queries of one run. spanOf[v] is the span id of v's hop in the
+// *current* query; mark/epoch invalidate the whole array in O(1)
+// between queries, so tracing allocates nothing per query after the
+// first (dense-index pooling, DESIGN §16).
+type queryTracePool struct {
+	spanOf []uint32
+	mark   []uint32
+	epoch  uint32
+}
+
+func newQueryTracePool(numPeers int) *queryTracePool {
+	return &queryTracePool{
+		spanOf: make([]uint32, numPeers),
+		mark:   make([]uint32, numPeers),
+	}
+}
+
+// get returns v's span in the current query, or 0 (the root span) when
+// v has no hop span yet — matching the old map's zero-value lookup for
+// the absent issuer.
+func (p *queryTracePool) get(v flood.PeerID) uint32 {
+	if p.mark[v] != p.epoch {
+		return 0
+	}
+	return p.spanOf[v]
+}
+
+func (p *queryTracePool) set(v flood.PeerID, span uint32) {
+	p.spanOf[v] = span
+	p.mark[v] = p.epoch
+}
+
 // startQueryTrace opens the trace of one good-peer query and arms the
 // flood engine's visit hook to grow the span tree hop by hop. Returns
 // nil (and arms nothing) when the query is head-sampled out. The
 // caller must disarm the engine after the flood returns.
-func startQueryTrace(tcr *trace.Tracer, eng *flood.Engine, seed, tick, index uint64, q workload.Query, now float64) *trace.Trace {
+func startQueryTrace(tcr *trace.Tracer, eng *flood.Engine, pool *queryTracePool, seed, tick, index uint64, q workload.Query, now float64) *trace.Trace {
 	id := trace.QueryID(seed, tick, index)
 	tc := tcr.Start(id, trace.Span{
 		Kind: trace.KindQueryIssue, T: now,
@@ -23,11 +56,11 @@ func startQueryTrace(tcr *trace.Tracer, eng *flood.Engine, seed, tick, index uin
 	if tc == nil {
 		return nil
 	}
-	// spanOf maps a visited peer to its hop span, so deeper hops hang
-	// off their BFS parent. The issuer is absent from the map; lookups
-	// of depth-1 parents return the zero value, which is the root span
-	// — exactly right.
-	spanOf := make(map[flood.PeerID]uint32)
+	// The pool maps a visited peer to its hop span, so deeper hops hang
+	// off their BFS parent. The issuer is never set; lookups of depth-1
+	// parents return the zero value, which is the root span — exactly
+	// right.
+	pool.epoch++
 	eng.SetTraceVisitor(func(v, parent flood.PeerID, depth int32, out flood.VisitOutcome) {
 		kind := trace.KindHop
 		detail := ""
@@ -37,11 +70,11 @@ func startQueryTrace(tcr *trace.Tracer, eng *flood.Engine, seed, tick, index uin
 		case flood.VisitDead:
 			detail = "dead_upstream"
 		}
-		spanOf[v] = tc.Add(trace.Span{
-			Kind: kind, Parent: spanOf[parent], T: now,
+		pool.set(v, tc.Add(trace.Span{
+			Kind: kind, Parent: pool.get(parent), T: now,
 			Node: int64(v), Peer: int64(parent), Depth: int(depth),
 			Detail: detail,
-		})
+		}))
 	})
 	return tc
 }
