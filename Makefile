@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet staticcheck test race racesmoke chaos smoke writefail bench benchsmoke benchgo telemetry
+.PHONY: ci lint build vet ddlint staticcheck test race racesmoke chaos smoke writefail bench benchsmoke benchgo telemetry
 
 # ci is the gate: static checks, full build, full tests, then a short
 # race pass over the packages with real concurrency (the live TCP node
@@ -12,28 +12,47 @@ GO ?= go
 # and /healthz), then a one-iteration pass over the pinned benchmark
 # suite (exercises every bench fixture; no timing gate, no BENCH.json
 # update).
-ci: vet staticcheck build test race racesmoke chaos smoke writefail benchsmoke
+ci: lint build test race racesmoke chaos smoke writefail benchsmoke
 
 build:
 	$(GO) build ./...
 
+# lint is the full static-analysis gate (DESIGN.md §18): go vet, then
+# the ddlint determinism analyzers, then pinned staticcheck. Every leg
+# runs unconditionally — there is deliberately no PATH-probe-and-skip
+# path left; a static gate that cannot run must fail loudly (the
+# writefail philosophy), never report a clean tree it did not inspect.
+lint: vet ddlint staticcheck
+
 vet:
 	$(GO) vet ./...
 
-# staticcheck runs when the pinned binary is on PATH and is skipped
-# (loudly) otherwise: the CI image bakes in staticcheck 2024.1, but the
-# gate must not require developers to install anything. The version is
-# pinned by checking `staticcheck -version` output, so a drive-by
-# upgrade that changes the check set fails the gate instead of silently
-# shifting it.
+# ddlint runs the house determinism analyzers (ddclock, ddrand,
+# ddmaporder, ddnilgate, ddoutfile, ddallow) over the whole module.
+# Exit 1 = findings, exit 2 = a package failed to load or type-check
+# (a hard failure, not a skip).
+ddlint:
+	$(GO) run ./cmd/ddlint ./...
+
+# staticcheck is hermetic: the release is pinned here (module version
+# and the matching -version string) and executed via `go run
+# module@version`, so the gate runs the exact same check set on every
+# machine with no preinstalled binary. A PATH binary is used only as a
+# fast path when it matches the pin exactly; any mismatch falls back to
+# the pinned `go run`, so a drive-by upgrade can shift nothing. The pin
+# lives here rather than as a go.mod tool dependency because go.mod
+# must stay dependency-free for the offline hermetic build; in a fully
+# offline environment with no module cache this target fails loudly —
+# intentionally, there is no silent-skip path (`make vet ddlint` still
+# covers the house rules offline).
 STATICCHECK_VERSION ?= 2024.1
+STATICCHECK_MODVER ?= v0.5.0
 staticcheck:
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck -version | grep -q "$(STATICCHECK_VERSION)" || { \
-			echo "staticcheck: want pinned $(STATICCHECK_VERSION), got: $$(staticcheck -version)"; exit 1; }; \
+	@if command -v staticcheck >/dev/null 2>&1 && staticcheck -version 2>/dev/null | grep -q "$(STATICCHECK_VERSION)"; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck: binary not found, skipping (install $(STATICCHECK_VERSION) to enable)"; \
+		echo "staticcheck: running pinned $(STATICCHECK_VERSION) via $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_MODVER)"; \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_MODVER) ./...; \
 	fi
 
 test:

@@ -1,0 +1,97 @@
+// ddlint is the multichecker for the repo's determinism house rules
+// (DESIGN.md §18): ddclock (no wall clocks in deterministic packages),
+// ddrand (no math/rand outside internal/rng), ddmaporder (no map
+// iteration into order-dependent sinks), ddnilgate (plane methods must
+// be nil-receiver-safe), ddoutfile (cmd artifacts go through the
+// sticky-error writer), and ddallow (the escape hatch itself must be
+// well-formed).
+//
+// Usage: ddlint [-list] [packages]
+//
+// Patterns are resolved from the module root (default ./...), so
+// `go run ./cmd/ddlint ./...` behaves identically from any directory.
+// Exit status: 0 clean, 1 findings, 2 when a package cannot be loaded
+// or type-checked. A lint run that cannot see the code MUST fail —
+// the writefail philosophy applied to static analysis; there is no
+// silent-skip path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ddpolice/internal/lint"
+	"ddpolice/internal/lint/analysis"
+	"ddpolice/internal/lint/load"
+)
+
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitLoadFail = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return exitLoadFail
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return exitClean
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := load.ModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "ddlint:", err)
+		return exitLoadFail
+	}
+	pkgs, err := load.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "ddlint:", err)
+		return exitLoadFail
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			ds, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+			if err != nil {
+				fmt.Fprintf(stderr, "ddlint: %s: %v\n", pkg.PkgPath, err)
+				return exitLoadFail
+			}
+			diags = append(diags, ds...)
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(root, name); err == nil {
+				name = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "ddlint: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		return exitFindings
+	}
+	return exitClean
+}

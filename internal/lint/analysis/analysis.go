@@ -1,0 +1,116 @@
+// Package analysis is a stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API surface that ddlint's analyzers
+// are written against. The container this repo builds in is offline,
+// so the real x/tools module cannot be a dependency; the subset here
+// (Analyzer, Pass, Diagnostic, a Run driver) keeps the analyzers
+// source-compatible with the upstream shape should the dependency ever
+// become available — an analyzer is a name, a doc string, and a Run
+// function over a type-checked package.
+//
+// The driver layers the repo's //ddlint:allow escape hatch on top:
+// a diagnostic whose line (or the line above it) carries a well-formed
+// allow directive for the reporting analyzer is suppressed. Bare or
+// malformed directives never suppress anything — the ddallow analyzer
+// rejects them — so every suppression in the tree is a reviewed one.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ddpolice/internal/lint/directive"
+)
+
+// Analyzer describes one static check. Name doubles as the directive
+// token's "dd"-stripped prefix: //ddlint:allow clock suppresses
+// ddclock findings.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// AllowToken is the token that names this analyzer in a
+// //ddlint:allow directive (the analyzer name without the dd prefix).
+func (a *Analyzer) AllowToken() string {
+	return strings.TrimPrefix(a.Name, "dd")
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags  []Diagnostic
+	allows map[string]map[int]directive.Allow
+}
+
+// Diagnostic is one finding, anchored to a position in the package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding unless a reviewed //ddlint:allow directive
+// for this analyzer covers the line (trailing on the same line, or on
+// the line immediately above — the tail of a doc comment counts).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+func (p *Pass) allowedAt(position token.Position) bool {
+	lines, ok := p.allows[position.Filename]
+	if !ok {
+		return false
+	}
+	token := p.Analyzer.AllowToken()
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if a, ok := lines[line]; ok && a.WellFormed() && a.Check == token {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drives one analyzer over one package and returns its surviving
+// diagnostics sorted by position.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		allows:    map[string]map[int]directive.Allow{},
+	}
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		for _, al := range directive.Parse(fset, f) {
+			if pass.allows[name] == nil {
+				pass.allows[name] = map[int]directive.Allow{}
+			}
+			pass.allows[name][al.Line] = al
+		}
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sort.Slice(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	return pass.diags, nil
+}

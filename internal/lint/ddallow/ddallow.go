@@ -1,0 +1,55 @@
+// Package ddallow polices the escape hatch itself. A //ddlint:allow
+// directive only suppresses a finding when it names a known check and
+// carries a reason behind the -- separator; this analyzer reports the
+// ones that don't — bare allows, missing reasons, unknown check names.
+// Without it, a malformed allow would fail silently in the worst way:
+// the author believes the site is waived, the directive suppresses
+// nothing, and the disagreement surfaces only when the underlying
+// analyzer fires. With it, a malformed allow is itself a finding, so
+// the gate and the author can never disagree about what is waived.
+//
+// ddallow has no escape hatch of its own: its findings cannot be
+// suppressed.
+package ddallow
+
+import (
+	"sort"
+	"strings"
+
+	"ddpolice/internal/lint/analysis"
+	"ddpolice/internal/lint/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ddallow",
+	Doc:  "every //ddlint:allow must name a known check and carry a reason (//ddlint:allow <check> -- <reason>)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, a := range directive.Parse(pass.Fset, f) {
+			switch {
+			case a.Check == "":
+				pass.Reportf(a.Pos,
+					"bare //ddlint:allow: name the check and the reviewed reason (//ddlint:allow <check> -- <reason>)")
+			case !directive.Known[a.Check]:
+				pass.Reportf(a.Pos,
+					"unknown ddlint check %q in //ddlint:allow (known: %s)", a.Check, knownList())
+			case !a.HasSep || a.Reason == "":
+				pass.Reportf(a.Pos,
+					"bare //ddlint:allow %s: a reviewed reason is required (//ddlint:allow %s -- <reason>)", a.Check, a.Check)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func knownList() string {
+	names := make([]string, 0, len(directive.Known))
+	for name := range directive.Known {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

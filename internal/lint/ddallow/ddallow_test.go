@@ -1,0 +1,12 @@
+package ddallow_test
+
+import (
+	"testing"
+
+	"ddpolice/internal/lint/analysistest"
+	"ddpolice/internal/lint/ddallow"
+)
+
+func TestDDAllow(t *testing.T) {
+	analysistest.Run(t, ddallow.Analyzer, "../testdata/src/allowbad", "ddpolice/internal/lint/testdata/src/allowbad")
+}

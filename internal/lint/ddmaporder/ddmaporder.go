@@ -1,0 +1,141 @@
+// Package ddmaporder flags map iteration whose body reaches an
+// order-dependent sink. Go randomizes map iteration order per run, so
+// a `for k := range m` that appends to the journal, commits a trace
+// span, or prints into a CSV/chart/Prometheus writer emits bytes in a
+// different order every execution — exactly the class of bug the
+// byte-identity matrices exist to catch, found here before a test ever
+// runs. The fix is the sorted-keys idiom used throughout the repo:
+// collect the keys, sort them, range over the sorted slice.
+//
+// Aggregation inside a map range (sums, counts, building a slice that
+// is sorted afterwards) is fine: only bodies that directly reach a
+// sink are flagged.
+package ddmaporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ddpolice/internal/lint/analysis"
+)
+
+// sinkPkgs are packages whose methods commit to ordered output
+// streams: one call inside a map range is an order leak.
+var sinkPkgs = map[string]bool{
+	"ddpolice/internal/journal": true,
+	"ddpolice/internal/trace":   true,
+	"ddpolice/internal/outfile": true,
+	"encoding/csv":              true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ddmaporder",
+	Doc:  "flag map iteration that reaches an order-dependent sink (journal, trace, fmt.Fprint*, Write* on an io.Writer); sort keys first",
+	Run:  run,
+}
+
+// ioWriter is a structural io.Writer used to recognize Write*-method
+// sinks without importing the target's dependency graph.
+var ioWriter = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	results := types.NewTuple(
+		types.NewVar(0, nil, "", types.Typ[types.Int]),
+		types.NewVar(0, nil, "", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, types.NewTuple(types.NewVar(0, nil, "", byteSlice)), results, false)
+	fn := types.NewFunc(0, nil, "Write", sig)
+	iface := types.NewInterfaceType([]*types.Func{fn}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSink(pass, rs.Body); sink != "" {
+				pass.Reportf(rs.Pos(),
+					"map iteration order leaks into %s; collect the keys, sort, and range over the sorted slice",
+					sink)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// findSink returns a description of the first order-dependent sink
+// call inside body, or "".
+func findSink(pass *analysis.Pass, body *ast.BlockStmt) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		// Package-level print functions: fmt.Fprint*, fmt.Print*.
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			if strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print") {
+				sink = "fmt." + fn.Name()
+				return false
+			}
+		}
+		// Methods on the committed-stream types (journal, trace,
+		// outfile, csv), whatever the method.
+		if recv := receiverPkgPath(obj); sinkPkgs[recv] {
+			sink = recv + "." + obj.Name()
+			return false
+		}
+		// Write* methods on anything that is an io.Writer — bufio
+		// writers, strings.Builder, files: direct byte emission.
+		if strings.HasPrefix(obj.Name(), "Write") {
+			if rt := pass.TypesInfo.TypeOf(sel.X); rt != nil && implementsWriter(rt) {
+				sink = types.TypeString(rt, nil) + "." + obj.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+func receiverPkgPath(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+func implementsWriter(t types.Type) bool {
+	if types.Implements(t, ioWriter) {
+		return true
+	}
+	return types.Implements(types.NewPointer(t), ioWriter)
+}

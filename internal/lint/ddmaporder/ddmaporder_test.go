@@ -1,0 +1,12 @@
+package ddmaporder_test
+
+import (
+	"testing"
+
+	"ddpolice/internal/lint/analysistest"
+	"ddpolice/internal/lint/ddmaporder"
+)
+
+func TestDDMapOrder(t *testing.T) {
+	analysistest.Run(t, ddmaporder.Analyzer, "../testdata/src/maporder", "ddpolice/internal/sim/maporderfixture")
+}

@@ -1,0 +1,180 @@
+// Package ddoutfile enforces the sticky-error output discipline in
+// the cmd tools. The failure mode (DESIGN.md §17): a tool writes its
+// result artifact through a bare os.Create + deferred Close, the disk
+// fills, the deferred Close swallows the error, and the tool exits
+// zero with a truncated artifact that poisons everything downstream.
+// internal/outfile exists so every emitted byte flows through a writer
+// whose Write, Flush, and Close errors all surface; this analyzer
+// makes reaching for os.Create in a cmd package a lint failure.
+//
+// Read-side files (os.Open) are untouched — an unchecked Close after
+// reading loses nothing.
+package ddoutfile
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+
+	"ddpolice/internal/lint/analysis"
+	"ddpolice/internal/lint/scope"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ddoutfile",
+	Doc:  "cmd tools must write result artifacts through internal/outfile, not os.Create/os.OpenFile with an unchecked Close",
+	Run:  run,
+}
+
+const writeFlags = os.O_WRONLY | os.O_RDWR | os.O_CREATE | os.O_TRUNC | os.O_APPEND
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scope.InCmd(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCreate(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkCloses(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkCloses(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCreate flags os.Create always, and os.OpenFile when the flag
+// argument requests writing (or cannot be evaluated statically).
+func checkCreate(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := osFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	switch fn.Name() {
+	case "Create":
+		pass.Reportf(call.Pos(),
+			"result artifact: os.Create in a cmd tool; use outfile.Create / outfile.Write so write and close errors become a nonzero exit")
+	case "OpenFile":
+		if len(call.Args) == 3 && !opensForWrite(pass, call.Args[1]) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"result artifact: os.OpenFile for writing in a cmd tool; use outfile.Create / outfile.Write so write and close errors become a nonzero exit")
+	}
+}
+
+func opensForWrite(pass *analysis.Pass, flagArg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[flagArg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return true // non-constant flags: assume the worst
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	return v&int64(writeFlags) != 0
+}
+
+// checkCloses flags f.Close() whose error is discarded (expression
+// statement or defer) when f is an *os.File opened for writing in the
+// same function.
+func checkCloses(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = st.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = st.Call
+		default:
+			return true
+		}
+		if call == nil {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" || !isOSFile(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !writeOrigin(pass, body, obj) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"unchecked Close on a write file: a deferred write error vanishes here; use outfile.Create (sticky-error Close) or check the Close error")
+		return true
+	})
+}
+
+// writeOrigin reports whether obj is assigned from os.Create or a
+// writing os.OpenFile anywhere in body.
+func writeOrigin(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := osFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		isWrite := fn.Name() == "Create" ||
+			(fn.Name() == "OpenFile" && (len(call.Args) != 3 || opensForWrite(pass, call.Args[1])))
+		if !isWrite {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if pass.TypesInfo.Defs[id] == obj || pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func osFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return nil
+	}
+	return fn
+}
+
+func isOSFile(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}

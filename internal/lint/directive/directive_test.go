@@ -1,0 +1,67 @@
+package directive
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) []Allow {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Parse(fset, f)
+}
+
+func TestParse(t *testing.T) {
+	src := `package p
+
+//ddlint:allow clock -- live edge stage timer
+func a() {}
+
+//ddlint:allow clock
+func b() {}
+
+//ddlint:allow
+func c() {}
+
+//ddlint:allow maporder -- debug dump // want "unused"
+func d() {}
+
+//ddlint:allowed nothing to see
+func e() {}
+
+// ddlint:allow clock -- leading space disqualifies, like go:build
+func f() {}
+`
+	allows := parseSrc(t, src)
+	if len(allows) != 4 {
+		t.Fatalf("expected 4 directives, got %d: %+v", len(allows), allows)
+	}
+	if !allows[0].WellFormed() || allows[0].Check != "clock" || allows[0].Reason != "live edge stage timer" {
+		t.Errorf("first directive misparsed: %+v", allows[0])
+	}
+	if allows[1].WellFormed() || allows[1].Check != "clock" || allows[1].HasSep {
+		t.Errorf("bare directive must not be well-formed: %+v", allows[1])
+	}
+	if allows[2].WellFormed() || allows[2].Check != "" {
+		t.Errorf("empty directive must not be well-formed: %+v", allows[2])
+	}
+	// The trailing // want assertion is stripped before parsing.
+	if !allows[3].WellFormed() || allows[3].Reason != "debug dump" {
+		t.Errorf("want-suffixed directive misparsed: %+v", allows[3])
+	}
+}
+
+func TestUnknownCheckNotWellFormed(t *testing.T) {
+	allows := parseSrc(t, "package p\n\n//ddlint:allow frobnicate -- reason\nfunc a() {}\n")
+	if len(allows) != 1 {
+		t.Fatalf("expected 1 directive, got %d", len(allows))
+	}
+	if allows[0].WellFormed() {
+		t.Fatalf("unknown check must not be well-formed: %+v", allows[0])
+	}
+}

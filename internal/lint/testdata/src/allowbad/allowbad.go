@@ -1,0 +1,20 @@
+// Package allowbad seeds malformed //ddlint:allow directives for the
+// ddallow analyzer: the escape hatch itself must be well-formed.
+package allowbad
+
+//ddlint:allow // want "bare //ddlint:allow"
+func a() {}
+
+//ddlint:allow clock // want "a reviewed reason is required"
+func b() {}
+
+//ddlint:allow clock -- // want "a reviewed reason is required"
+func c() {}
+
+//ddlint:allow frobnicate -- because the moon phase says so // want "unknown ddlint check"
+func d() {}
+
+//ddlint:allow clock -- reviewed: exercises the well-formed path, suppresses nothing here
+func e() {}
+
+func use() { a(); b(); c(); d(); e() }

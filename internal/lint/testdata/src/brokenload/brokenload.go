@@ -1,0 +1,8 @@
+// Package brokenload does not type-check. It exists so the regression
+// tests can prove a lint run that cannot load a package exits nonzero
+// instead of silently skipping it.
+package brokenload
+
+func Broken() int {
+	return "not an int"
+}

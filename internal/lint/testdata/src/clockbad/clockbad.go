@@ -1,0 +1,54 @@
+// Package clockfixture seeds ddclock violations. analysistest loads
+// it under the import path ddpolice/internal/sim/clockfixture so the
+// deterministic-package scope applies.
+package clockfixture
+
+import "time"
+
+// Tick shows the clean idiom: logical time threaded as a value.
+func Tick(now float64) float64 { return now + 1 }
+
+func bad() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func sinceBad(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock"
+}
+
+func timerBad() *time.Timer {
+	return time.NewTimer(time.Second) // want "wall clock"
+}
+
+func tickerBad() {
+	tk := time.NewTicker(time.Second) // want "wall clock"
+	defer tk.Stop()
+	<-time.After(time.Second) // want "wall clock"
+}
+
+// Referencing the function as a value is a read source too.
+var nowFn = time.Now // want "wall clock"
+
+func allowedAbove() time.Time {
+	//ddlint:allow clock -- live telemetry edge: feeds a stage timer, never a committed stream
+	return time.Now()
+}
+
+func allowedInline() time.Time {
+	return time.Now() //ddlint:allow clock -- live edge probe, never journaled
+}
+
+// Clean: carrying and transforming time values is fine; only reading
+// the wall clock is banned.
+func double(d time.Duration) time.Duration { return d * 2 }
+
+func use() {
+	_ = bad()
+	_ = sinceBad(time.Time{})
+	_ = timerBad()
+	tickerBad()
+	_ = nowFn
+	_ = allowedAbove()
+	_ = allowedInline()
+	_ = double(time.Second)
+}

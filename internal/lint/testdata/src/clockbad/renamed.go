@@ -1,0 +1,11 @@
+package clockfixture
+
+import wall "time"
+
+// A renamed import does not hide the read: detection is type-based,
+// not import-name-based.
+func renamed() wall.Time {
+	return wall.Now() // want "wall clock"
+}
+
+var _ = renamed

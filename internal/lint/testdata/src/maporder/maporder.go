@@ -1,0 +1,77 @@
+// Package maporderfixture seeds ddmaporder violations: map ranges
+// whose bodies reach order-dependent sinks, next to the sorted-keys
+// idiom that stays silent.
+package maporderfixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ddpolice/internal/journal"
+)
+
+func BadFprintf(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func BadJournal(j *journal.Journal, m map[int]float64) {
+	for id, v := range m { // want "map iteration order"
+		j.Record(journal.Event{Peer: int64(id), Value: v})
+	}
+}
+
+func BadBuilder(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m { // want "map iteration order"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func BadNested(w io.Writer, m map[string][]int) {
+	for k, vs := range m { // want "map iteration order"
+		for _, v := range vs {
+			fmt.Fprintln(w, k, v)
+		}
+	}
+}
+
+// CleanSorted is the house idiom: collect, sort, then emit.
+func CleanSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// CleanAggregate: order-independent reduction inside a map range is
+// fine.
+func CleanAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// CleanSlice: ranging a slice is never order-dependent.
+func CleanSlice(w io.Writer, vs []int) {
+	for _, v := range vs {
+		fmt.Fprintln(w, v)
+	}
+}
+
+func Allowed(w io.Writer, m map[string]int) {
+	//ddlint:allow maporder -- reviewed: interactive debug dump, never a committed artifact
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

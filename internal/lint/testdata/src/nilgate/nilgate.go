@@ -1,0 +1,85 @@
+// Package journal is a ddnilgate fixture standing in for the real
+// plane package: analysistest loads it under the import path
+// ddpolice/internal/journal, which puts the local type Journal under
+// the nil-gate contract.
+package journal
+
+import "sync"
+
+type Journal struct {
+	mu     sync.Mutex
+	events []int
+	limit  int
+}
+
+// Record is the canonical gate: guard first, then dereference.
+func (j *Journal) Record(e int) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, e)
+}
+
+// Len guards through a compound condition; the tail of the || chain
+// runs only when the receiver is non-nil.
+func (j *Journal) Len() int {
+	if j == nil || j.limit == 0 {
+		return 0
+	}
+	return len(j.events)
+}
+
+// Tail needs no guard of its own: its first receiver use delegates to
+// a method already proven nil-safe.
+func (j *Journal) Tail(n int) int {
+	j.Record(n)
+	return n
+}
+
+func (j *Journal) Bad() int { // want "nil-receiver"
+	return len(j.events)
+}
+
+// BadDelegate reaches an unexported helper that is itself unsafe; the
+// finding lands on the exported entry point.
+func (j *Journal) BadDelegate() { // want "nil-receiver"
+	j.flush()
+}
+
+// flush is unexported: not a finding itself, but poisons exported
+// callers.
+func (j *Journal) flush() {
+	j.events = nil
+}
+
+// ElseForm dereferences only in the non-nil branch.
+func (j *Journal) ElseForm() int {
+	if j == nil {
+		return 0
+	} else {
+		return len(j.events)
+	}
+}
+
+// NotNilForm guards with the && body form.
+func (j *Journal) NotNilForm() int {
+	n := 0
+	if j != nil && j.limit > 0 {
+		n = len(j.events)
+	}
+	return n
+}
+
+// ValueOnly never dereferences: storing, passing, and comparing the
+// receiver are safe on nil.
+func (j *Journal) ValueOnly(sink *[]*Journal) bool {
+	*sink = append(*sink, j)
+	return j == nil
+}
+
+//ddlint:allow nilgate -- reviewed: fixture method, caller constructs the receiver unconditionally
+func (j *Journal) Allowed() int {
+	return len(j.events)
+}

@@ -1,0 +1,73 @@
+// Package lintfixture seeds ddoutfile violations. analysistest loads
+// it under ddpolice/cmd/lintfixture so the cmd-tool scope applies.
+package lintfixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ddpolice/internal/outfile"
+)
+
+func Bad(path string) error {
+	f, err := os.Create(path) // want "os.Create"
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "unchecked Close"
+	fmt.Fprintln(f, "result")
+	return nil
+}
+
+func BadOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want "os.OpenFile"
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "result")
+	return f.Close()
+}
+
+// CleanRead: read-side files are out of scope; an unchecked Close
+// after reading loses nothing.
+func CleanRead(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	return buf[:n], nil
+}
+
+// CleanReadOnlyOpenFile: O_RDONLY is statically visible in the flags.
+func CleanReadOnlyOpenFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// CleanOutfile is the house idiom: every byte flows through the
+// sticky-error writer and a failed flush becomes a nonzero exit.
+func CleanOutfile(path string) error {
+	return outfile.Write(path, func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, "result")
+		return err
+	})
+}
+
+// CheckedClose: with a reviewed allow on the create, a Close whose
+// error is consumed stays silent.
+func CheckedClose(path string) error {
+	//ddlint:allow outfile -- reviewed: fixture demonstrates a hand-checked Close without the wrapper
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := fmt.Fprintln(f, "x")
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

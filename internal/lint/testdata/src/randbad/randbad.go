@@ -1,0 +1,29 @@
+// Package randbad seeds ddrand violations. cmd/ddlint's nonzero-exit
+// regression test also points at this package by its on-disk testdata
+// path, so it must compile standalone.
+package randbad
+
+import (
+	"math/rand"
+
+	"ddpolice/internal/rng"
+)
+
+func Intn(n int) int {
+	return rand.Intn(n) // want "math/rand"
+}
+
+func NewStream(seed int64) *rand.Rand { // want "math/rand"
+	return rand.New(rand.NewSource(seed)) // want "math/rand" "math/rand"
+}
+
+func Allowed() float64 {
+	//ddlint:allow rand -- reviewed: fixture jitter, never reaches a committed stream
+	return rand.Float64()
+}
+
+// Clean: streams derived through internal/rng's SubSeed discipline.
+func Clean(seed uint64) uint64 {
+	r := rng.New(rng.SubSeed(seed, 1))
+	return r.Uint64()
+}

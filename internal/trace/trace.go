@@ -153,8 +153,14 @@ func (t *Tracer) Record(id uint64, s Span) {
 }
 
 // commit appends a finished trace's spans, dropping the whole batch if
-// it would exceed the cap. newTrace counts it toward TraceCount.
+// it would exceed the cap. newTrace counts it toward TraceCount. A nil
+// receiver is inert: callers reach commit through Sampled, which
+// rejects nil tracers, but the nil-gate contract (ddnilgate) holds on
+// the guard, not on that coincidence.
 func (t *Tracer) commit(spans []Span, newTrace bool) {
+	if t == nil {
+		return
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.spans)+len(spans) > t.limit {
